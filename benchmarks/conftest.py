@@ -1,0 +1,67 @@
+"""Shared setup for the benchmark harness.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper (see DESIGN.md's per-experiment index). They share one
+:class:`~repro.experiments.context.ExperimentContext` whose expensive
+artifacts (the 21-instance workload, trained models) are cached under
+``<repo>/.cache`` — the first invocation builds them, later ones load.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale can be lowered for quick runs::
+
+    REPRO_BENCH_SCALE=smoke pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.context import ExperimentContext, ExperimentScale
+
+
+def _scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    factory = {
+        "smoke": ExperimentScale.smoke,
+        "default": ExperimentScale.default,
+        "paper": ExperimentScale.paper,
+    }.get(name)
+    if factory is None:
+        raise ValueError(f"unknown REPRO_BENCH_SCALE={name!r}")
+    return factory()
+
+
+@pytest.fixture(autouse=True)
+def _show_reproduction_tables(capsys):
+    """Benchmarks print the paper-comparison tables; show them live on
+    the terminal even though pytest captures test output."""
+    from repro.experiments import reporting
+    reporting.set_capture_disabler(capsys.disabled)
+    yield
+    reporting.set_capture_disabler(None)
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(_scale())
+
+
+@pytest.fixture(scope="session")
+def t3(ctx):
+    """The standard T3: trained on everything except TPC-DS, compiled."""
+    return ctx.t3()
+
+
+@pytest.fixture(scope="session")
+def test_queries(ctx):
+    return ctx.test_queries()
+
+
+@pytest.fixture(scope="session")
+def train_queries(ctx):
+    return ctx.train_queries()

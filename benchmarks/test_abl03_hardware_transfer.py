@@ -1,0 +1,85 @@
+"""Ablation (Sections 2.1 / 6) — transferring T3 to new hardware.
+
+T3 is trained per machine. The paper's transfer recipe: re-run the
+benchmark queries on the new hardware (hours) and retrain (seconds).
+This ablation simulates a second machine (slower clock, different cache
+hierarchy), shows that the machine-A model mispredicts on machine B in
+a *systematic* way, and that retraining on machine-B measurements
+restores accuracy.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.datagen.instances import get_instance
+from repro.datagen.workload import WorkloadBuilder, WorkloadConfig
+from repro.engine.simulator import CacheHierarchy, SimulatorConfig
+from repro.core.model import T3Model
+from repro.experiments.reporting import print_table
+
+TRAIN_INSTANCES = ("tpch_sf1", "financial", "airline", "ssb", "walmart")
+TEST_INSTANCE = "tpcds_sf1"
+
+#: Machine B: 1.6x slower clock, smaller caches with harsher misses.
+MACHINE_B = SimulatorConfig(
+    speed_factor=0.625,
+    cache=CacheHierarchy(l1_bytes=16 * 1024, l2_bytes=512 * 1024,
+                         l3_bytes=8 * 1024 * 1024, l2_penalty=1.9,
+                         l3_penalty=3.5, dram_penalty=8.0))
+
+
+def _workload(ctx, machine_config, names, key):
+    def build():
+        config = WorkloadConfig(
+            queries_per_structure=max(4, ctx.scale.queries_per_structure),
+            include_fixed_benchmarks=False, simulator=machine_config,
+            seed=ctx.seed)
+        queries = []
+        for name in names:
+            queries.extend(WorkloadBuilder(get_instance(name),
+                                           config).build())
+        return queries
+
+    return ctx.cache.get_or_build(ctx._key("hw", key), build)
+
+
+def test_ablation_hardware_transfer(benchmark, ctx):
+    machine_a = SimulatorConfig()
+    train_a = _workload(ctx, machine_a, TRAIN_INSTANCES, "a-train")
+    test_a = _workload(ctx, machine_a, (TEST_INSTANCE,), "a-test")
+    train_b = _workload(ctx, MACHINE_B, TRAIN_INSTANCES, "b-train")
+    test_b = _workload(ctx, MACHINE_B, (TEST_INSTANCE,), "b-test")
+
+    def build_model(queries, key):
+        def payload():
+            model = T3Model.train(queries, ctx.t3_config())
+            return (model.booster, model.config)
+        booster, config = ctx.cache.get_or_build(ctx._key("hw-model", key),
+                                                 payload)
+        return T3Model(booster, config)
+
+    def run():
+        model_a = build_model(train_a, "a")
+        model_b = build_model(train_b, "b")
+        return {
+            "A-model on machine A": model_a.evaluate(test_a),
+            "A-model on machine B": model_a.evaluate(test_b),
+            "B-model on machine B (retrained)": model_b.evaluate(test_b),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: hardware transfer (machine B = slower clock, smaller caches)",
+        ["Setup", "p50", "p90", "avg"],
+        [[name, f"{s.p50:.2f}", f"{s.p90:.2f}", f"{s.mean:.2f}"]
+         for name, s in results.items()],
+        note="paper: hardware-specific models; transfer = re-benchmark "
+             "(hours) + retrain (seconds)")
+
+    native = results["A-model on machine A"]
+    transferred = results["A-model on machine B"]
+    retrained = results["B-model on machine B (retrained)"]
+    assert transferred.p50 > native.p50 * 1.1    # systematic mismatch
+    assert retrained.p50 < transferred.p50       # retraining recovers
+    assert retrained.p50 < native.p50 * 1.5      # back to the usual regime

@@ -1,0 +1,67 @@
+"""Figure 1 — the latency/accuracy scatter of recent models.
+
+Paper's points (median q-error vs prediction latency):
+  AutoWLM  ~1ms,  q-error ~2.5 (worst accuracy)
+  Zero Shot ~50ms, competitive accuracy
+  Stage     ~300us average
+  T3        ~4us,  competitive accuracy  (bottom-left corner)
+
+Reproduction target: T3 occupies the bottom-left (fastest AND among the
+most accurate); AutoWLM is fast-ish but inaccurate; the NN is accurate
+on its home workload but slow.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.dataset import cardinality_model_for
+from repro.experiments.reporting import format_seconds, print_table
+
+
+def _latency(fn, repeats=50):
+    fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def test_figure1_scatter(benchmark, ctx, t3, test_queries):
+    zeroshot = ctx.zeroshot()
+    autowlm = ctx.autowlm()
+    query = test_queries[10]
+    model = cardinality_model_for(query)
+    vectors, _ = t3.registry.vectors_for_plan(query.plan, model)
+    vectors = [np.ascontiguousarray(v) for v in vectors]
+
+    def t3_call():
+        for vector in vectors:
+            t3.predict_raw_one(vector)
+
+    benchmark(t3_call)
+
+    summed = np.ascontiguousarray(np.sum(vectors, axis=0))
+    rows = [
+        ("T3 (ours)", _latency(t3_call),
+         t3.evaluate(test_queries).p50),
+        ("AutoWLM [40]", _latency(lambda: autowlm.predict_raw_one(summed)),
+         autowlm.evaluate(test_queries).p50),
+        ("Zero Shot [16]",
+         _latency(lambda: zeroshot.predict_query(query.plan, model),
+                  repeats=20),
+         zeroshot.evaluate(test_queries).p50),
+    ]
+    print_table(
+        "Figure 1: prediction latency vs median q-error (TPC-DS test)",
+        ["Model", "Latency", "p50 q-error"],
+        [[name, format_seconds(latency), f"{p50:.2f}"]
+         for name, latency, p50 in rows],
+        note="T3 must sit bottom-left: fastest and most accurate")
+
+    t3_latency, t3_p50 = rows[0][1], rows[0][2]
+    for name, latency, p50 in rows[1:]:
+        assert t3_latency < latency, name
+        assert t3_p50 <= p50 * 1.1, name

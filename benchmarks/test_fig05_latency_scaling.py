@@ -1,0 +1,83 @@
+"""Figure 5 — prediction latency by number of pipelines (1 .. 1000).
+
+Paper: compiled single-threaded latency scales linearly from ~1.5 us to
+~700 us at 1000 pipelines; single-threaded interpretation is far slower;
+multi-threaded interpretation only catches up for very large queries.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.dataset import build_dataset
+from repro.treecomp.interpreter import (
+    InterpretedModel,
+    MultiThreadedInterpretedModel,
+    PythonScalarModel,
+)
+from repro.experiments.reporting import format_seconds, print_series
+
+PIPELINE_COUNTS = (1, 3, 10, 30, 100, 300, 1000)
+
+
+def _median_time(fn, repeats):
+    fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def test_figure5_latency_by_pipelines(benchmark, ctx, t3, test_queries):
+    dataset = ctx.cache.get_or_build(
+        ctx._key("test-dataset-exact"), lambda: build_dataset(test_queries))
+    pool = np.ascontiguousarray(dataset.X)
+    rng = np.random.default_rng(0)
+
+    scalar = PythonScalarModel(t3.booster)
+    multi = MultiThreadedInterpretedModel(t3.booster, n_threads=8)
+
+    compiled_series, interp_series, multi_series = [], [], []
+    for count in PIPELINE_COUNTS:
+        rows = rng.choice(len(pool), size=count, replace=True)
+        batch = np.ascontiguousarray(pool[rows])
+        vectors = [np.ascontiguousarray(v) for v in batch]
+        repeats = max(3, min(50, 2000 // count))
+
+        def compiled_call():
+            for vector in vectors:
+                t3.predict_raw_one(vector)
+
+        compiled_series.append(_median_time(compiled_call, repeats))
+        interp_series.append(_median_time(
+            lambda: scalar.predict(batch), max(2, repeats // 5)))
+        multi_series.append(_median_time(
+            lambda: multi.predict(batch), max(2, repeats // 5)))
+
+    benchmark(lambda: [t3.predict_raw_one(v)
+                       for v in [np.ascontiguousarray(pool[0])] * 3])
+    multi.close()
+
+    print_series(
+        "Figure 5: prediction latency by number of pipelines",
+        "#pipelines",
+        {
+            "compiled ST": [format_seconds(t) for t in compiled_series],
+            "interpreted ST": [format_seconds(t) for t in interp_series],
+            "interpreted MT": [format_seconds(t) for t in multi_series],
+        },
+        PIPELINE_COUNTS,
+        note="paper: compiled ~1.5us@1 to ~700us@1000; interpretation "
+             "slower, MT only competitive for huge queries")
+
+    # Shape assertions.
+    assert compiled_series[0] < 50e-6                 # microsecond regime
+    # Roughly linear scaling: 1000 pipelines within ~3x of 1000x the single.
+    assert compiled_series[-1] < compiled_series[0] * 1000 * 3
+    # Compiled beats interpreted for every realistic query size (<=100).
+    for i, count in enumerate(PIPELINE_COUNTS):
+        if count <= 100:
+            assert compiled_series[i] < interp_series[i]
+            assert compiled_series[i] < multi_series[i]

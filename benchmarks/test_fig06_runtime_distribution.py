@@ -1,0 +1,34 @@
+"""Figure 6 — distribution of observed query running times.
+
+Paper: most queries run ~1 ms; the longest exceed 20 s, the shortest
+finish below 2 us, with a spike of very short queries (high selectivity
+or optimizer short-circuits).
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import print_series
+
+
+def test_figure6_runtime_histogram(benchmark, ctx):
+    workload = ctx.workload()
+
+    def collect():
+        return np.array([q.median_time for q in workload])
+
+    times = benchmark(collect)
+    edges = 10.0 ** np.arange(-7, 3)  # 100ns .. 100s decade buckets
+    counts, _ = np.histogram(times, bins=edges)
+    labels = [f"1e{int(np.log10(low))}s..1e{int(np.log10(high))}s"
+              for low, high in zip(edges[:-1], edges[1:])]
+    print_series(
+        "Figure 6: observed running times of queries in the dataset",
+        "bucket", {"queries": [int(c) for c in counts]}, labels,
+        note=f"min={times.min():.2e}s max={times.max():.2e}s "
+             f"median={np.median(times):.2e}s; paper: ~2us .. >20s, "
+             "mode around 1ms")
+
+    # Shape: wide dynamic range and a ~millisecond mode.
+    assert times.max() / times.min() > 1e4
+    mode_bucket = int(np.argmax(counts))
+    assert edges[mode_bucket] <= 1e-1  # mode at or below 100ms

@@ -1,0 +1,35 @@
+"""Figure 7 — frequency distribution of q-errors on the TPC-DS test set.
+
+Paper: the bulk of queries predicted with small q-error (<1.5), plus
+few but heavy outliers — which is why the average far exceeds the p50.
+"""
+
+import numpy as np
+
+from repro.metrics import q_errors
+from repro.core.dataset import build_dataset
+from repro.experiments.reporting import print_series
+
+
+def test_figure7_qerror_histogram(benchmark, ctx, t3, test_queries):
+    dataset = ctx.cache.get_or_build(
+        ctx._key("test-dataset-exact"), lambda: build_dataset(test_queries))
+
+    def predict():
+        return t3.predict_dataset(dataset)
+
+    predicted = benchmark(predict)
+    errors = q_errors(predicted, dataset.query_times())
+
+    edges = [1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, np.inf]
+    counts, _ = np.histogram(errors, bins=edges)
+    labels = [f"[{low:g},{high:g})" for low, high in zip(edges[:-1],
+                                                         edges[1:])]
+    print_series(
+        "Figure 7: q-error frequency on all TPC-DS test queries",
+        "q-error bucket", {"queries": [int(c) for c in counts]}, labels,
+        note="paper: majority below 1.5 with few heavy outliers")
+
+    below_1_5 = counts[:3].sum() / counts.sum()
+    assert below_1_5 > 0.5          # majority of queries well predicted
+    assert np.mean(errors) > np.median(errors)  # heavy-tailed, like Fig 7

@@ -1,0 +1,44 @@
+"""Figure 13 — ablation: per-tuple vs per-pipeline vs per-query prediction.
+
+Three variants trained identically on the non-TPC-DS corpus:
+  1. T3: per-pipeline feature vectors, per-tuple targets,
+  2. per-pipeline vectors, absolute pipeline-time targets,
+  3. one summed feature vector per query, absolute query-time target.
+
+Paper: T3's per-tuple, per-pipeline design is substantially more
+accurate than both ablations; the single-vector variant is worst.
+"""
+
+from repro.core.ablation import TargetMode
+from repro.experiments.reporting import print_table
+
+_LABELS = {
+    TargetMode.PER_TUPLE: "T3: per tuple, per pipeline",
+    TargetMode.PER_PIPELINE: "per pipeline (absolute time)",
+    TargetMode.PER_QUERY: "per query (single vector)",
+}
+
+
+def test_figure13_target_ablation(benchmark, ctx, test_queries):
+    def run():
+        results = {}
+        for mode in (TargetMode.PER_TUPLE, TargetMode.PER_PIPELINE,
+                     TargetMode.PER_QUERY):
+            model = ctx.t3_variant(target_mode=mode)
+            results[mode] = model.evaluate(test_queries)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Figure 13: prediction-target ablation (TPC-DS test)",
+        ["Variant", "p50", "p90", "avg", "n"],
+        [[_LABELS[mode], f"{s.p50:.2f}", f"{s.p90:.2f}", f"{s.mean:.2f}",
+          s.count] for mode, s in results.items()],
+        note="paper: per-tuple clearly best, single-vector worst")
+
+    per_tuple = results[TargetMode.PER_TUPLE]
+    per_pipeline = results[TargetMode.PER_PIPELINE]
+    per_query = results[TargetMode.PER_QUERY]
+    assert per_tuple.p50 <= per_pipeline.p50
+    assert per_tuple.p50 < per_query.p50
+    assert per_pipeline.p50 <= per_query.p50 * 1.2

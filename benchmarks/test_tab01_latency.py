@@ -1,0 +1,104 @@
+"""Table 1 — single-query prediction latency of different models.
+
+Paper's rows: Zero Shot 50 ms (NN); Stage ~300 us average (cache 2 us /
+DT 1 ms / NN 30 ms); T3 interpreted 22 us; T3 compiled 4 us.
+
+Our absolute numbers differ (Python harness, numpy NN vs PyTorch), but
+the ordering and the orders-of-magnitude gaps are the reproduction
+target: compiled T3 ≪ interpreted T3 ≪ Stage average ≪ NN.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.dataset import build_dataset, cardinality_model_for
+from repro.core.model import PredictionBackend
+from repro.baselines.stage import StageConfig, StageModel
+from repro.experiments.reporting import format_seconds, print_table
+
+
+def _median_latency(fn, repeats=200):
+    times = []
+    fn()  # warm-up
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def test_table1_model_latencies(benchmark, ctx, t3, test_queries):
+    zeroshot = ctx.zeroshot()
+    stage = StageModel(ctx.autowlm(), zeroshot, StageConfig())
+    # Populate the cache tier with one third of the evaluation queries,
+    # mirroring Stage's repeated-workload setting.
+    for query in test_queries[::3]:
+        stage.observe(query.plan, query.median_time)
+
+    sample = test_queries[:40]
+    models = [cardinality_model_for(q) for q in sample]
+    vectors = [t3.registry.vectors_for_plan(q.plan, m)[0]
+               for q, m in zip(sample, models)]
+
+    # -- model-only evaluation latency (pre-featurized vectors) --------
+    def compiled_call():
+        for vecs in vectors[:1]:
+            for v in vecs:
+                t3.predict_raw_one(v)
+
+    benchmark(compiled_call)  # pytest-benchmark row
+
+    compiled_latency = _median_latency(compiled_call)
+    t3.use_backend(PredictionBackend.INTERPRETED)
+    try:
+        interpreted_latency = _median_latency(compiled_call, repeats=30)
+    finally:
+        t3.use_backend(PredictionBackend.COMPILED)
+
+    def nn_call():
+        zeroshot.predict_query(sample[0].plan, models[0])
+
+    nn_latency = _median_latency(nn_call, repeats=30)
+
+    stage_latencies = []
+    tier_latencies = {"cache": [], "tree": [], "nn": []}
+    for query, model in zip(sample, models):
+        start = time.perf_counter()
+        _, tier = stage.predict_query(query.plan, model)
+        elapsed = time.perf_counter() - start
+        stage_latencies.append(elapsed)
+        tier_latencies[tier].append(elapsed)
+    stage_average = float(np.mean(stage_latencies))
+    tiers = {name: len(values) for name, values in tier_latencies.items()}
+
+    print_table(
+        "Table 1: single-query prediction latency",
+        ["Model", "Cache", "DT", "NN", "Avg"],
+        [
+            ["Zero Shot [16]", "-", "-", format_seconds(nn_latency),
+             format_seconds(nn_latency)],
+            ["Stage [50]", f"tiers={tiers}", "", "",
+             format_seconds(stage_average)],
+            ["T3 interpreted", "-", format_seconds(interpreted_latency),
+             "-", format_seconds(interpreted_latency)],
+            ["T3 (ours)", "-", format_seconds(compiled_latency), "-",
+             format_seconds(compiled_latency)],
+        ],
+        note="paper: 50ms / ~300us / 22us / 4us — ordering must match")
+
+    assert compiled_latency < interpreted_latency
+    assert compiled_latency < nn_latency
+    assert compiled_latency < stage_average
+    # Stage's structural claim: the hierarchy's average beats always
+    # paying its most expensive tier, and cache hits are the cheapest
+    # tier. (Absolute DT-vs-NN order differs from the paper: its NN is
+    # a large GNN in PyTorch, ours a small numpy network — see
+    # EXPERIMENTS.md.)
+    slowest_tier = max(float(np.mean(values))
+                       for values in tier_latencies.values() if values)
+    assert stage_average <= slowest_tier
+    if tier_latencies["cache"]:
+        assert float(np.median(tier_latencies["cache"])) == min(
+            float(np.median(values))
+            for values in tier_latencies.values() if values)

@@ -1,0 +1,105 @@
+"""Table 2 — model throughput in queries per second, single vs batch.
+
+Paper's finding: batch evaluation (>1000 data points) is dramatically
+faster than back-to-back single evaluation — over 1000x for neural
+networks — but many use-cases cannot batch, hence the latency focus.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.dataset import build_dataset
+from repro.core.model import PredictionBackend
+from repro.experiments.reporting import print_table
+
+
+def _throughput_single(fn, items, seconds_budget=1.0):
+    start = time.perf_counter()
+    done = 0
+    while time.perf_counter() - start < seconds_budget:
+        fn(items[done % len(items)])
+        done += 1
+    return done / (time.perf_counter() - start)
+
+
+def test_table2_throughput(benchmark, ctx, t3, test_queries):
+    zeroshot = ctx.zeroshot()
+    dataset = ctx.cache.get_or_build(
+        ctx._key("test-dataset-exact"), lambda: build_dataset(test_queries))
+    X = np.ascontiguousarray(dataset.X)
+    vectors = [np.ascontiguousarray(v) for v in X[:200]]
+
+    # Batch multiplier: replicate the pipeline matrix to >1000 rows.
+    replicated = np.ascontiguousarray(
+        np.tile(X, (max(1, 2000 // len(X)) + 1, 1))[:2000])
+
+    rows = []
+
+    # T3 compiled
+    single = _throughput_single(t3.predict_raw_one, vectors)
+    start = time.perf_counter()
+    repeats = 20
+    for _ in range(repeats):
+        t3.predict_raw_batch(replicated)
+    batch = repeats * len(replicated) / (time.perf_counter() - start)
+    rows.append(["T3 (compiled)", f"{single:,.0f}", f"{batch:,.0f}"])
+    benchmark(lambda: t3.predict_raw_batch(replicated))
+
+    # T3 interpreted (vectorized numpy batch vs scalar single)
+    t3.use_backend(PredictionBackend.INTERPRETED)
+    try:
+        single_i = _throughput_single(t3.predict_raw_one, vectors,
+                                      seconds_budget=0.5)
+        start = time.perf_counter()
+        for _ in range(5):
+            t3.booster.predict(replicated)
+        batch_i = 5 * len(replicated) / (time.perf_counter() - start)
+    finally:
+        t3.use_backend(PredictionBackend.COMPILED)
+    rows.append(["T3 interpreted", f"{single_i:,.0f}", f"{batch_i:,.0f}"])
+
+    # Zero-Shot NN: single plan-by-plan vs batched node matrices.
+    from repro.core.dataset import cardinality_model_for
+    sample = test_queries[:50]
+    models = [cardinality_model_for(q) for q in sample]
+
+    def nn_single(index):
+        query, model = sample[index % len(sample)], models[index % len(models)]
+        zeroshot.predict_query(query.plan, model)
+
+    single_nn = _throughput_single(nn_single, list(range(len(sample))),
+                                   seconds_budget=0.5)
+    batch_nn = single_nn * _nn_batch_speedup(zeroshot, sample, models)
+    rows.append(["Zero Shot NN", f"{single_nn:,.0f}", f"{batch_nn:,.0f}"])
+
+    print_table("Table 2: throughput (queries/second)",
+                ["Model", "Single", "Batch"], rows,
+                note="paper: batching helps every model; NN gains most")
+    assert batch > single
+
+
+def _nn_batch_speedup(zeroshot, sample, models):
+    """Measured speedup of evaluating all plans' node matrices at once."""
+    import numpy as np
+    from repro.baselines.zeroshot import encode_plan
+
+    matrices = [(encode_plan(q.plan, m) - zeroshot._x_mean)
+                / zeroshot._x_std for q, m in zip(sample, models)]
+    start = time.perf_counter()
+    for matrix in matrices:
+        zeroshot._forward_single(matrix)
+    sequential = time.perf_counter() - start
+
+    nodes = np.concatenate(matrices)
+    counts = np.array([len(m) for m in matrices])
+    segments = np.repeat(np.arange(len(matrices)), counts)
+    start = time.perf_counter()
+    hidden = zeroshot.node_mlp.forward(nodes, remember=False)
+    pooled = np.zeros((len(matrices), hidden.shape[1]))
+    np.add.at(pooled, segments, hidden)
+    pooled /= counts[:, None]
+    head_in = np.concatenate([pooled, np.log1p(counts)[:, None]], axis=1)
+    zeroshot.head_mlp.forward(head_in, remember=False)
+    batched = time.perf_counter() - start
+    return max(1.0, sequential / batched)

@@ -1,0 +1,44 @@
+"""Table 4 — T3 accuracy in q-error (exact cardinalities).
+
+Paper's rows (p50 / p90 / avg):
+  Train queries             ~1.04 / ~1.3  / ~1.3
+  All TPC-DS test queries   ~1.2  / ~2    / ~1.5
+  TPC-DS benchmark queries   1.30 / 2.77  / 1.94
+  TPC-DS sf100 test          -    / -     / 1.57
+  TPC-DS sf100 benchmark     -    / -     / 2.12
+"""
+
+from repro.core.dataset import build_dataset
+from repro.experiments.reporting import print_table
+
+
+def test_table4_accuracy(benchmark, ctx, t3, train_queries, test_queries):
+    fixed = [q for q in test_queries if q.group == "Fixed"]
+    sf100 = [q for q in test_queries if q.instance_name == "tpcds_sf100"]
+    sf100_fixed = [q for q in sf100 if q.group == "Fixed"]
+
+    def evaluate_all():
+        return {
+            "Train queries": t3.evaluate(train_queries),
+            "All TPC-DS test queries": t3.evaluate(test_queries),
+            "TPC-DS benchmark queries": t3.evaluate(fixed),
+            "TPC-DS sf100 test queries": t3.evaluate(sf100),
+            "TPC-DS sf100 benchmark queries": t3.evaluate(sf100_fixed),
+        }
+
+    results = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+    print_table(
+        "Table 4: T3 accuracy (q-error)",
+        ["Queries", "p50", "p90", "avg", "n"],
+        [[name, f"{s.p50:.2f}", f"{s.p90:.2f}", f"{s.mean:.2f}", s.count]
+         for name, s in results.items()],
+        note="paper: train ~1.3 avg; TPC-DS test ~1.5 avg; "
+             "benchmark queries hardest")
+
+    train = results["Train queries"]
+    test = results["All TPC-DS test queries"]
+    bench = results["TPC-DS benchmark queries"]
+    # Shape assertions from the paper's narrative.
+    assert train.mean < test.mean          # unseen instance is harder
+    assert test.p50 < 2.0                  # competitive zero-shot accuracy
+    assert bench.mean >= test.mean * 0.8   # fixed suite at least as hard

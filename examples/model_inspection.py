@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Inspecting a trained T3: importances, breakdowns, explanations.
+
+Adopters of a cost model need visibility into its behaviour. This
+example trains a T3 and shows the three inspection tools:
+
+1. feature importances — which pipeline features the trees split on,
+2. error breakdown — accuracy by query group and by runtime decade,
+3. prediction explanation — tracing one pipeline vector through the
+   ensemble: which features were tested, what each tree contributed.
+
+Run:  python examples/model_inspection.py
+"""
+
+from repro import T3Model, WorkloadConfig, build_corpus_workload
+from repro.core.analysis import (
+    error_breakdown,
+    explain_prediction,
+    feature_importance_report,
+    format_importance_table,
+    runtime_bucket,
+)
+from repro.core.dataset import build_dataset
+
+
+def main() -> None:
+    print("training a T3 on four instances ...")
+    config = WorkloadConfig(queries_per_structure=5,
+                            include_fixed_benchmarks=False)
+    train = build_corpus_workload(
+        ["tpch_sf1", "financial", "airline", "ssb"], config)
+    test = build_corpus_workload(["tpcds_sf1"], config)
+    model = T3Model.train(train)
+
+    print("\n1. Top feature importances (split counts)")
+    print(format_importance_table(feature_importance_report(model, top=12)))
+
+    print("\n2. Error breakdown by query group (q-error p50/p90/avg)")
+    for group, summary in error_breakdown(
+            model, test, key=lambda q: q.group).items():
+        print(f"   {group:10s} {summary.row()}")
+
+    print("\n   ... and by runtime decade")
+    for bucket, summary in error_breakdown(
+            model, test, key=runtime_bucket).items():
+        print(f"   {bucket:10s} {summary.row()}")
+
+    print("\n3. Explaining one prediction")
+    dataset = build_dataset(test[:3])
+    vector = dataset.X[0]
+    explanation = explain_prediction(model, vector)
+    print(f"   raw (transformed) prediction: "
+          f"{explanation.raw_prediction:.3f}")
+    print(f"   = base score {explanation.base_score:.3f} "
+          f"+ {model.booster.n_trees} tree contributions "
+          f"(sum {explanation.tree_contributions.sum():+.3f})")
+    print("   most-tested features on the decision paths:")
+    for name, touches in explanation.top_features(8):
+        print(f"     {name:44s} tested {touches:3d} times")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: train a T3 model and predict query execution times.
+
+This walks the full pipeline of the paper in miniature:
+
+1. build benchmarked workloads over a few database instances
+   (random queries, optimized to physical plans, timed on the
+   execution-simulator substrate),
+2. train the Tuple Time Tree and compile it to native machine code,
+3. predict the execution time of unseen queries on an unseen database
+   instance and compare against the measured truth.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    T3Model,
+    WorkloadConfig,
+    build_corpus_workload,
+    cardinality_model_for,
+)
+from repro.metrics import q_error, summarize_predictions
+
+TRAIN_INSTANCES = ["tpch_sf1", "imdb", "financial", "airline", "ssb"]
+TEST_INSTANCES = ["tpcds_sf1"]          # never seen during training
+
+
+def main() -> None:
+    config = WorkloadConfig(queries_per_structure=6,
+                            include_fixed_benchmarks=False)
+
+    print("1. Generating and benchmarking training workloads ...")
+    train_queries = build_corpus_workload(TRAIN_INSTANCES, config)
+    test_queries = build_corpus_workload(TEST_INSTANCES, config)
+    print(f"   {len(train_queries)} training / {len(test_queries)} test "
+          f"queries")
+
+    print("2. Training T3 (200 boosted trees, MAPE objective) ...")
+    start = time.time()
+    model = T3Model.train(train_queries)
+    print(f"   trained in {time.time() - start:.1f}s, "
+          f"compiled to native code: {model.is_compiled}")
+
+    print("3. Predicting unseen TPC-DS queries ...")
+    rows = []
+    for query in test_queries[:8]:
+        cardinalities = cardinality_model_for(query)
+        start = time.perf_counter()
+        predicted = model.predict_query(query.plan, cardinalities)
+        latency = time.perf_counter() - start
+        rows.append((query.name, predicted, query.median_time, latency))
+
+    print(f"\n   {'query':34s} {'predicted':>12s} {'measured':>12s} "
+          f"{'q-error':>8s} {'latency':>9s}")
+    for name, predicted, actual, latency in rows:
+        print(f"   {name:34s} {predicted * 1e3:10.3f}ms "
+              f"{actual * 1e3:10.3f}ms {q_error(predicted, actual):8.2f} "
+              f"{latency * 1e6:7.1f}us")
+
+    predictions = [model.predict_benchmarked(q) for q in test_queries]
+    actuals = [q.median_time for q in test_queries]
+    summary = summarize_predictions(predictions, actuals)
+    print(f"\n   zero-shot accuracy on {len(test_queries)} unseen queries: "
+          f"p50={summary.p50:.2f}  p90={summary.p90:.2f}  "
+          f"avg={summary.mean:.2f}  (q-error)")
+
+    # Model-only latency: the figure the paper headlines (~4us).
+    vector = model.registry.vectors_for_plan(
+        test_queries[0].plan, cardinality_model_for(test_queries[0]))[0][0]
+    vector = np.ascontiguousarray(vector)
+    model.predict_raw_one(vector)
+    start = time.perf_counter()
+    n = 5000
+    for _ in range(n):
+        model.predict_raw_one(vector)
+    per_call = (time.perf_counter() - start) / n
+    print(f"   compiled model evaluation latency: {per_call * 1e6:.1f}us "
+          f"per pipeline (paper: ~1.5us/pipeline, ~4us/query)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Running queries for real: the vectorized executor on generated data.
+
+Everything else in this repository works from statistics; this example
+materializes actual numpy data for a TPC-H instance (scaled down),
+executes physical plans on it with the vectorized executor, and checks
+the engine's cardinality model against observed row counts.
+
+Run:  python examples/real_execution.py
+"""
+
+import time
+
+from repro.datagen.instances import get_instance
+from repro.datagen.tablegen import generate_table_store
+from repro.datagen.benchmarks_tpch import tpch_query
+from repro.engine.cardinality import ExactCardinalityModel
+from repro.engine.executor import VectorizedExecutor
+from repro.engine.optimizer import Optimizer
+from repro.metrics import q_error
+
+SCALE = 0.01  # 1 % of TPC-H sf1: 60k lineitem rows
+QUERIES = ["tpch_q1", "tpch_q3", "tpch_q5", "tpch_q6", "tpch_q10",
+           "tpch_q12", "tpch_q14", "tpch_q19"]
+
+
+def main() -> None:
+    instance = get_instance("tpch_sf1")
+    print(f"materializing TPC-H data at {SCALE:.0%} scale ...")
+    start = time.time()
+    store = generate_table_store(instance, scale_fraction=SCALE, seed=42)
+    total_rows = sum(store.row_count(t) for t in store.table_names)
+    print(f"  {total_rows:,} rows across {len(store.table_names)} tables "
+          f"in {time.time() - start:.1f}s")
+
+    optimizer = Optimizer(instance.schema, instance.catalog)
+    executor = VectorizedExecutor(store)
+    exact = ExactCardinalityModel(instance.catalog)
+
+    print(f"\n{'query':10s} {'rows':>8s} {'exec time':>10s} "
+          f"{'pipelines':>9s}   cardinality-model check")
+    for name in QUERIES:
+        plan = optimizer.optimize(tpch_query(name, instance), name)
+        result = executor.execute(plan)
+
+        # Compare the model's root-output estimate (full scale) with the
+        # observed count. Unbounded outputs scale with the data volume;
+        # bounded ones (group counts, top-k) do not.
+        modeled = exact.output_cardinality(plan.root)
+        observed = result.n_result_rows
+        expectation = modeled if modeled < 1000 else modeled * SCALE
+        check = q_error(max(observed, 1.0), max(expectation, 1.0))
+        verdict = "ok" if check < 3.0 else f"off by {check:.1f}x"
+        print(f"{name:10s} {observed:8,} {result.total_time * 1e3:8.2f}ms "
+              f"{len(result.pipeline_times):9d}   "
+              f"model={modeled:,.0f} @sf1 -> {verdict}")
+        exact.reset()
+
+    print("\nthe executor validates the substrate: the same plans, "
+          "pipelines and\ncardinality rules that T3 trains on actually "
+          "run and produce results.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — reproduction of *T3: Accurate and Fast Performance Prediction
+for Relational Database Systems With Compiled Decision Trees*
+(Rieger & Neumann, SIGMOD 2025).
+
+Quickstart
+----------
+
+>>> from repro import build_corpus_workload, WorkloadConfig, T3Model
+>>> train = build_corpus_workload(["tpch_sf1", "imdb"],
+...                               WorkloadConfig(queries_per_structure=4))
+>>> model = T3Model.train(train)                            # doctest: +SKIP
+>>> q = train[0]
+>>> from repro.core.dataset import cardinality_model_for    # doctest: +SKIP
+>>> model.predict_query(q.plan, cardinality_model_for(q))   # doctest: +SKIP
+
+Package layout
+--------------
+
+=====================  =====================================================
+``repro.core``         T3 itself: features, targets, training, prediction
+``repro.trees``        gradient-boosted tree framework (LightGBM substitute)
+``repro.treecomp``     tree-to-native-code compilation (lleaves substitute)
+``repro.engine``       push-based relational engine (Umbra substitute)
+``repro.datagen``      21-instance corpus, query generation, benchmarking
+``repro.baselines``    Zero-Shot / AutoWLM / Stage / C_out baselines
+``repro.joinorder``    DPsize join ordering with pluggable cost models
+``repro.experiments``  shared harness for the paper's tables and figures
+=====================  =====================================================
+"""
+
+from .errors import ReproError
+from .metrics import QErrorSummary, q_error, q_errors, summarize_q_errors
+from .core.model import T3Model, T3Config, PredictionBackend
+from .core.features import FeatureRegistry, default_registry
+from .core.dataset import CardinalityKind, build_dataset, cardinality_model_for
+from .core.ablation import TargetMode
+from .datagen.instances import Instance, all_instance_names, get_instance
+from .datagen.workload import (
+    BenchmarkedQuery,
+    WorkloadBuilder,
+    WorkloadConfig,
+    build_corpus_workload,
+)
+from .experiments.context import ExperimentContext, ExperimentScale
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "QErrorSummary",
+    "q_error",
+    "q_errors",
+    "summarize_q_errors",
+    "T3Model",
+    "T3Config",
+    "PredictionBackend",
+    "FeatureRegistry",
+    "default_registry",
+    "CardinalityKind",
+    "build_dataset",
+    "cardinality_model_for",
+    "TargetMode",
+    "Instance",
+    "all_instance_names",
+    "get_instance",
+    "BenchmarkedQuery",
+    "WorkloadBuilder",
+    "WorkloadConfig",
+    "build_corpus_workload",
+    "ExperimentContext",
+    "ExperimentScale",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Baseline performance-prediction models the paper compares against.
+
+* :mod:`repro.baselines.zeroshot` — Zero-Shot cost model [16]: a neural
+  network over plan-operator encodings, trained across instances
+  (numpy reimplementation; see module docstring for fidelity notes),
+* :mod:`repro.baselines.autowlm` — AutoWLM-style model [40]: one flat
+  feature vector per *query* fed to a gradient-boosted tree,
+* :mod:`repro.baselines.stage` — Stage [50]: the cache → decision tree →
+  neural network hierarchy used by Amazon Redshift,
+* :mod:`repro.baselines.cout` — the C_out cost function [10] used as the
+  join-ordering baseline (Section 5.5),
+* :mod:`repro.baselines.nn` — the minimal neural-network framework the
+  Zero-Shot reimplementation is built on.
+"""
+
+from .nn import MLP, AdamOptimizer, TrainingLog
+from .zeroshot import ZeroShotModel, ZeroShotConfig
+from .autowlm import AutoWLMModel
+from .stage import StageModel, StageConfig
+from .cout import cout_cost
+
+__all__ = [
+    "MLP",
+    "AdamOptimizer",
+    "TrainingLog",
+    "ZeroShotModel",
+    "ZeroShotConfig",
+    "AutoWLMModel",
+    "StageModel",
+    "StageConfig",
+    "cout_cost",
+]

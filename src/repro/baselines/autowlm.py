@@ -1,0 +1,55 @@
+"""AutoWLM-style baseline (Saxena et al. [40]).
+
+AutoWLM represents each *query* by a single flat feature vector and
+predicts its execution time with a decision-tree model. That is exactly
+the per-query ablation of T3 (one summed pipeline vector, absolute-time
+target), so this class is a thin, named wrapper around
+:class:`~repro.core.model.T3Model` with ``TargetMode.PER_QUERY`` and an
+interpreted (non-compiled) tree backend — the latency class Table 1
+reports for AutoWLM-like decision trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..metrics import QErrorSummary
+from ..engine.cardinality import CardinalityModel
+from ..engine.physical import PhysicalPlan
+from ..datagen.workload import BenchmarkedQuery
+from ..core.ablation import TargetMode
+from ..core.dataset import CardinalityKind
+from ..core.model import T3Config, T3Model
+
+
+class AutoWLMModel:
+    """Single-vector-per-query decision-tree predictor."""
+
+    def __init__(self, inner: T3Model):
+        self._inner = inner
+
+    @classmethod
+    def train(cls, queries: Sequence[BenchmarkedQuery],
+              config: Optional[T3Config] = None) -> "AutoWLMModel":
+        config = config or T3Config()
+        config = replace(config, target_mode=TargetMode.PER_QUERY,
+                         compile_to_native=False)
+        return cls(T3Model.train(queries, config))
+
+    def predict_query(self, plan: PhysicalPlan,
+                      model: CardinalityModel) -> float:
+        return self._inner.predict_query(plan, model)
+
+    def predict_raw_one(self, vector: np.ndarray) -> float:
+        return self._inner.predict_raw_one(vector)
+
+    def evaluate(self, queries: Sequence[BenchmarkedQuery],
+                 kind: Optional[CardinalityKind] = None) -> QErrorSummary:
+        return self._inner.evaluate(queries, kind)
+
+    @property
+    def inner(self) -> T3Model:
+        return self._inner

@@ -1,0 +1,22 @@
+"""The C_out cost function (Cluet & Moerkotte [10], Equation 3).
+
+C_out of a join tree is the summed cardinality of all intermediate
+results:
+
+    C_out(T) = 0                                   if T is a leaf
+    C_out(T) = |T| + C_out(T1) + C_out(T2)         if T = T1 join T2
+
+It cannot predict execution time, but minimizing intermediate sizes is
+a near-perfect join-ordering strategy (Section 5.5), which makes it the
+paper's baseline cost model for DPsize.
+"""
+
+from __future__ import annotations
+
+
+def cout_cost(cardinality: float, left_cost: float, right_cost: float) -> float:
+    """One DP combination step of C_out: three additions."""
+    return cardinality + left_cost + right_cost
+
+
+COUT_LEAF_COST = 0.0

@@ -1,0 +1,127 @@
+"""Minimal neural-network framework (numpy, manual backprop).
+
+Provides exactly what the Zero-Shot reimplementation needs: dense
+layers with ReLU, He initialization, MSE loss, Adam, and mini-batch
+training with gradient clipping. No autograd — gradients are derived by
+hand in the models, which keeps single-prediction latency honest (one
+of the quantities the paper measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+@dataclass
+class TrainingLog:
+    """Loss curve of one training run."""
+
+    train_losses: List[float] = field(default_factory=list)
+    valid_losses: List[float] = field(default_factory=list)
+
+
+class DenseLayer:
+    """Fully connected layer ``y = x @ W + b`` with optional ReLU."""
+
+    def __init__(self, n_in: int, n_out: int, relu: bool,
+                 rng: np.random.Generator):
+        scale = np.sqrt(2.0 / n_in)
+        self.W = rng.normal(0.0, scale, size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self.relu = relu
+        self._x: Optional[np.ndarray] = None
+        self._pre: Optional[np.ndarray] = None
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+
+    def forward(self, x: np.ndarray, remember: bool = True) -> np.ndarray:
+        pre = x @ self.W + self.b
+        out = np.maximum(pre, 0.0) if self.relu else pre
+        if remember:
+            self._x, self._pre = x, pre
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise TrainingError("backward called before forward")
+        if self.relu:
+            grad_out = grad_out * (self._pre > 0)
+        self.dW += self._x.T @ grad_out
+        self.db += grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+    def zero_grad(self) -> None:
+        self.dW.fill(0.0)
+        self.db.fill(0.0)
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        return [(self.W, self.dW), (self.b, self.db)]
+
+
+class MLP:
+    """Stack of dense layers; ReLU on all but the last."""
+
+    def __init__(self, sizes: List[int], rng: np.random.Generator,
+                 final_relu: bool = False):
+        if len(sizes) < 2:
+            raise TrainingError("MLP needs at least input and output sizes")
+        self.layers: List[DenseLayer] = []
+        for i in range(len(sizes) - 1):
+            relu = final_relu or i < len(sizes) - 2
+            self.layers.append(DenseLayer(sizes[i], sizes[i + 1], relu, rng))
+
+    def forward(self, x: np.ndarray, remember: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, remember)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        params: List[Tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+
+class AdamOptimizer:
+    """Adam with global-norm gradient clipping."""
+
+    def __init__(self, parameters: List[Tuple[np.ndarray, np.ndarray]],
+                 learning_rate: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 clip_norm: float = 5.0):
+        self._params = parameters
+        self.learning_rate = learning_rate
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p) for p, _ in parameters]
+        self._v = [np.zeros_like(p) for p, _ in parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        total_norm = np.sqrt(sum(float((g ** 2).sum())
+                                 for _, g in self._params))
+        scale = 1.0
+        if total_norm > self.clip_norm:
+            scale = self.clip_norm / (total_norm + 1e-12)
+        for i, (param, grad) in enumerate(self._params):
+            g = grad * scale
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * g
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * g * g
+            m_hat = self._m[i] / (1 - self.beta1 ** self._t)
+            v_hat = self._v[i] / (1 - self.beta2 ** self._t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

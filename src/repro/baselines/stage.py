@@ -1,0 +1,106 @@
+"""Stage-style hierarchical predictor (Wu et al. [50]).
+
+Amazon Redshift's Stage model answers predictions from a hierarchy:
+
+1. an **exact-match cache** of previously executed queries (~2 µs),
+2. a **local decision-tree model** for queries it is confident about
+   (~1 ms),
+3. a slow but accurate **global neural network** (~30 ms).
+
+This reimplementation routes through the same three tiers: a plan
+fingerprint cache, an (interpreted) tree model, and the Zero-Shot
+neural network. The tree tier handles structurally simple queries
+(operator count below a threshold — a stand-in for Stage's proprietary
+confidence estimate); everything else falls through to the NN.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..engine.cardinality import CardinalityModel
+from ..engine.physical import PhysicalPlan, PTableScan
+from ..datagen.workload import BenchmarkedQuery
+from ..core.dataset import CardinalityKind, cardinality_model_for
+from .autowlm import AutoWLMModel
+from .zeroshot import ZeroShotConfig, ZeroShotModel
+
+
+def plan_fingerprint(plan: PhysicalPlan) -> str:
+    """Structural hash for the exact-match cache tier."""
+    digest = hashlib.sha256()
+    digest.update(plan.database.encode())
+    for op in plan.root.walk():
+        digest.update(op.op_type.value.encode())
+        if isinstance(op, PTableScan):
+            digest.update(op.table.encode())
+            for predicate in op.predicates:
+                digest.update(type(predicate).__name__.encode())
+                digest.update(predicate.column.encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class StageConfig:
+    """Routing knobs of the hierarchy."""
+
+    #: Plans with at most this many operators go to the tree tier.
+    tree_max_operators: int = 6
+    cardinalities: CardinalityKind = CardinalityKind.EXACT
+
+
+class StageModel:
+    """Cache → decision tree → neural network hierarchy."""
+
+    def __init__(self, tree: AutoWLMModel, network: ZeroShotModel,
+                 config: Optional[StageConfig] = None):
+        self.tree = tree
+        self.network = network
+        self.config = config or StageConfig()
+        self._cache: Dict[str, float] = {}
+
+    @classmethod
+    def train(cls, queries: Sequence[BenchmarkedQuery],
+              config: Optional[StageConfig] = None,
+              network_config: Optional[ZeroShotConfig] = None) -> "StageModel":
+        tree = AutoWLMModel.train(queries)
+        network = ZeroShotModel(network_config).fit(queries)
+        return cls(tree, network, config)
+
+    # -- cache management ---------------------------------------------------
+
+    def observe(self, plan: PhysicalPlan, measured_time: float) -> None:
+        """Record an executed query for the cache tier."""
+        self._cache[plan_fingerprint(plan)] = measured_time
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    # -- prediction -----------------------------------------------------------
+
+    def route(self, plan: PhysicalPlan) -> str:
+        """Which tier answers this plan: ``cache`` | ``tree`` | ``nn``."""
+        if plan_fingerprint(plan) in self._cache:
+            return "cache"
+        if plan.n_operators <= self.config.tree_max_operators:
+            return "tree"
+        return "nn"
+
+    def predict_query(self, plan: PhysicalPlan,
+                      model: CardinalityModel) -> Tuple[float, str]:
+        """Prediction plus the tier that produced it."""
+        tier = self.route(plan)
+        if tier == "cache":
+            return self._cache[plan_fingerprint(plan)], tier
+        if tier == "tree":
+            return self.tree.predict_query(plan, model), tier
+        return self.network.predict_query(plan, model), tier
+
+    def predict_benchmarked(self, query: BenchmarkedQuery,
+                            seed: int = 0) -> Tuple[float, str]:
+        model = cardinality_model_for(query, self.config.cardinalities,
+                                      seed=seed)
+        return self.predict_query(query.plan, model)

@@ -1,0 +1,215 @@
+"""Command-line interface: ``repro-t3``.
+
+Subcommands cover the library's end-to-end workflow:
+
+* ``instances`` — list the 21-instance corpus,
+* ``workload``  — generate and benchmark a workload, saved as a pickle,
+* ``train``     — train T3 on saved workloads, save the model as JSON,
+* ``evaluate``  — q-error of a saved model on a saved workload,
+* ``explain``   — show plan, pipelines, and feature vectors for a SQL
+  query against a corpus instance,
+* ``predict``   — predict the execution time of a SQL query.
+
+Example session::
+
+    repro-t3 workload --instances tpch_sf1,imdb -o train.pkl
+    repro-t3 train -w train.pkl -o model.json
+    repro-t3 predict -m model.json -i tpch_sf1 \\
+        "SELECT count(*) FROM lineitem WHERE l_quantity <= 10"
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .errors import ReproError
+from .core.model import T3Config, T3Model
+from .core.features import default_registry
+from .datagen.instances import all_instance_names, get_instance
+from .datagen.workload import WorkloadBuilder, WorkloadConfig
+from .engine.cardinality import ExactCardinalityModel
+from .engine.explain import explain, explain_pipelines
+from .engine.optimizer import Optimizer
+from .engine.pipelines import decompose_into_pipelines
+from .engine.sqlparser import parse_sql
+from .trees.boosting import BoostingParams
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-t3",
+        description="T3 performance prediction (SIGMOD'25 reproduction)")
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    subcommands.add_parser("instances",
+                           help="list the corpus database instances")
+
+    workload = subcommands.add_parser(
+        "workload", help="generate and benchmark a workload")
+    workload.add_argument("--instances", required=True,
+                          help="comma-separated instance names")
+    workload.add_argument("--queries-per-structure", type=int, default=6)
+    workload.add_argument("--no-fixed-benchmarks", action="store_true")
+    workload.add_argument("-o", "--output", required=True)
+
+    train = subcommands.add_parser("train", help="train a T3 model")
+    train.add_argument("-w", "--workload", required=True, nargs="+",
+                       help="workload pickle(s) from the workload command")
+    train.add_argument("-o", "--output", required=True)
+    train.add_argument("--rounds", type=int, default=200)
+    train.add_argument("--objective", default="mape",
+                       choices=("mape", "l2", "l1"))
+    train.add_argument("--no-compile", action="store_true")
+
+    evaluate = subcommands.add_parser(
+        "evaluate", help="q-error of a model on a workload")
+    evaluate.add_argument("-m", "--model", required=True)
+    evaluate.add_argument("-w", "--workload", required=True, nargs="+")
+
+    explain_cmd = subcommands.add_parser(
+        "explain", help="plan / pipelines / features of a SQL query")
+    explain_cmd.add_argument("-i", "--instance", required=True)
+    explain_cmd.add_argument("sql")
+    explain_cmd.add_argument("--features", action="store_true",
+                             help="also print per-pipeline feature vectors")
+
+    predict = subcommands.add_parser(
+        "predict", help="predict the execution time of a SQL query")
+    predict.add_argument("-m", "--model", required=True)
+    predict.add_argument("-i", "--instance", required=True)
+    predict.add_argument("sql")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_instances() -> int:
+    print(f"{'name':16s} {'family':12s} {'tables':>6s} {'rows':>16s}")
+    for name in all_instance_names():
+        instance = get_instance(name)
+        print(f"{name:16s} {instance.family:12s} "
+              f"{len(instance.schema.tables):6d} "
+              f"{instance.catalog.total_rows():16,}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    names = [n.strip() for n in args.instances.split(",") if n.strip()]
+    config = WorkloadConfig(
+        queries_per_structure=args.queries_per_structure,
+        include_fixed_benchmarks=not args.no_fixed_benchmarks)
+    queries = []
+    for name in names:
+        builder = WorkloadBuilder(get_instance(name), config)
+        built = builder.build()
+        queries.extend(built)
+        print(f"{name}: {len(built)} queries", file=sys.stderr)
+    with open(args.output, "wb") as handle:
+        pickle.dump(queries, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    print(f"wrote {len(queries)} benchmarked queries to {args.output}")
+    return 0
+
+
+def _load_workloads(paths: Sequence[str]) -> list:
+    queries = []
+    for path in paths:
+        if not Path(path).exists():
+            raise ReproError(f"workload file not found: {path}")
+        with open(path, "rb") as handle:
+            queries.extend(pickle.load(handle))
+    if not queries:
+        raise ReproError("loaded workloads contain no queries")
+    return queries
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    queries = _load_workloads(args.workload)
+    config = T3Config(
+        boosting=BoostingParams(n_rounds=args.rounds,
+                                objective=args.objective,
+                                validation_fraction=0.2),
+        compile_to_native=not args.no_compile)
+    print(f"training on {len(queries)} queries "
+          f"({args.rounds} rounds, {args.objective}) ...", file=sys.stderr)
+    model = T3Model.train(queries, config)
+    model.save(args.output)
+    summary = model.evaluate(queries)
+    print(f"saved model to {args.output}; training q-error "
+          f"p50={summary.p50:.2f} p90={summary.p90:.2f} "
+          f"avg={summary.mean:.2f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    model = T3Model.load(args.model)
+    queries = _load_workloads(args.workload)
+    summary = model.evaluate(queries)
+    print(f"{len(queries)} queries: q-error p50={summary.p50:.2f} "
+          f"p90={summary.p90:.2f} avg={summary.mean:.2f}")
+    return 0
+
+
+def _physical_plan(instance_name: str, sql: str):
+    instance = get_instance(instance_name)
+    logical = parse_sql(sql, instance.schema, instance.catalog)
+    optimizer = Optimizer(instance.schema, instance.catalog)
+    return instance, optimizer.optimize(logical, "cli_query")
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    instance, plan = _physical_plan(args.instance, args.sql)
+    exact = ExactCardinalityModel(instance.catalog)
+    print(explain(plan, exact))
+    print()
+    print(explain_pipelines(plan, exact))
+    if args.features:
+        registry = default_registry()
+        for pipeline in decompose_into_pipelines(plan):
+            print(f"\nPipeline {pipeline.index} features:")
+            vector = registry.vector_for_pipeline(pipeline, exact)
+            print(registry.describe_vector(vector))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    model = T3Model.load(args.model)
+    instance, plan = _physical_plan(args.instance, args.sql)
+    exact = ExactCardinalityModel(instance.catalog)
+    pipeline_times = model.predict_pipeline_times(plan, exact)
+    for index, seconds in enumerate(pipeline_times):
+        print(f"pipeline {index}: {seconds * 1e3:10.3f} ms")
+    print(f"predicted query time: {pipeline_times.sum() * 1e3:.3f} ms")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "instances":
+            return _cmd_instances()
+        if args.command == "workload":
+            return _cmd_workload(args)
+        if args.command == "train":
+            return _cmd_train(args)
+        if args.command == "evaluate":
+            return _cmd_evaluate(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
+        if args.command == "predict":
+            return _cmd_predict(args)
+        raise ReproError(f"unknown command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""T3 — the Tuple Time Tree (the paper's primary contribution).
+
+The public entry point is :class:`repro.core.model.T3Model`:
+
+>>> from repro import T3Model, build_corpus_workload
+>>> train = build_corpus_workload(["tpch_sf1", "imdb"])     # doctest: +SKIP
+>>> model = T3Model.train(train)                            # doctest: +SKIP
+>>> model.predict_query(train[0].plan)                      # doctest: +SKIP
+
+Sub-modules:
+
+* :mod:`repro.core.features` — pipeline-based feature vectors
+  (Section 3: operator stages, tuple streams, generic basic features,
+  feature addition for duplicate operators),
+* :mod:`repro.core.targets` — tuple-centric prediction targets and the
+  ``-log`` transformation (Section 2.4),
+* :mod:`repro.core.dataset` — pipeline-level training datasets from
+  benchmarked workloads,
+* :mod:`repro.core.model` — training, native compilation, and the
+  per-pipeline / per-query prediction API,
+* :mod:`repro.core.ablation` — the paper's ablation variants
+  (per-pipeline direct and per-query single-vector prediction).
+"""
+
+from .features import FeatureRegistry, default_registry
+from .targets import (
+    transform_target,
+    inverse_transform,
+    tuple_time_target,
+    MIN_TUPLE_TIME,
+    MAX_TUPLE_TIME,
+)
+from .dataset import PipelineDataset, build_dataset, CardinalityKind, cardinality_model_for
+from .model import T3Model, T3Config, PredictionBackend
+from .ablation import TargetMode
+
+__all__ = [
+    "FeatureRegistry",
+    "default_registry",
+    "transform_target",
+    "inverse_transform",
+    "tuple_time_target",
+    "MIN_TUPLE_TIME",
+    "MAX_TUPLE_TIME",
+    "PipelineDataset",
+    "build_dataset",
+    "CardinalityKind",
+    "cardinality_model_for",
+    "T3Model",
+    "T3Config",
+    "PredictionBackend",
+    "TargetMode",
+]

@@ -1,0 +1,63 @@
+"""Ablation variants of T3's prediction strategy (Section 5.7, Figure 13).
+
+The paper ablates two design decisions:
+
+* **per-tuple vs per-pipeline targets** — the second variant predicts a
+  pipeline's total execution time directly instead of the time per
+  tuple,
+* **per-pipeline vs per-query feature vectors** — the third variant
+  collapses a query into a single feature vector (the sum of its
+  pipeline vectors, which is also how AutoWLM-style models represent
+  queries) and predicts the whole query time in one step.
+
+All three share the training/inference machinery of
+:class:`~repro.core.model.T3Model`; only target construction and
+prediction aggregation differ, selected by :class:`TargetMode`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from .dataset import PipelineDataset
+from .targets import transform_target  # noqa: F401 (re-exported)
+
+#: Clamp bounds for *absolute* time targets (seconds). Wider than the
+#: per-tuple bounds because whole pipelines/queries run up to minutes.
+MIN_ABSOLUTE_TIME = 1e-9
+MAX_ABSOLUTE_TIME = 1e5
+
+
+class TargetMode(Enum):
+    """What one model prediction means."""
+
+    #: T3: per-pipeline vectors, per-tuple targets (prediction is
+    #: multiplied by the pipeline's input cardinality).
+    PER_TUPLE = "per_tuple"
+    #: Ablation: per-pipeline vectors, absolute pipeline-time targets.
+    PER_PIPELINE = "per_pipeline"
+    #: Ablation: one summed vector per query, absolute query-time target.
+    PER_QUERY = "per_query"
+
+
+def transform_absolute(times: np.ndarray) -> np.ndarray:
+    """``-log`` transform for absolute times (wider clamp than per-tuple)."""
+    clipped = np.clip(np.asarray(times, dtype=np.float64),
+                      MIN_ABSOLUTE_TIME, MAX_ABSOLUTE_TIME)
+    return -np.log(clipped)
+
+
+def training_matrices(dataset: PipelineDataset, mode: TargetMode):
+    """(X, y) for the chosen target mode."""
+    if mode is TargetMode.PER_TUPLE:
+        return dataset.X, dataset.y
+    if mode is TargetMode.PER_PIPELINE:
+        return dataset.X, transform_absolute(dataset.pipeline_times)
+    # PER_QUERY: sum pipeline vectors per query, label with query time.
+    n_queries = dataset.n_queries
+    X = np.zeros((n_queries, dataset.X.shape[1]))
+    np.add.at(X, dataset.query_index, dataset.X)
+    y = transform_absolute(dataset.query_times())
+    return X, y

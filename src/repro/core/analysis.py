@@ -1,0 +1,155 @@
+"""Model inspection: feature importances, error breakdowns, explanations.
+
+Production adopters of a cost model need to see *why* it predicts what
+it predicts. This module provides:
+
+* :func:`feature_importance_report` — named split-count importances,
+* :func:`error_breakdown` — q-error summaries grouped by any query
+  attribute (group, instance, pipeline count, runtime bucket),
+* :func:`explain_prediction` — per-tree decision-path attribution for a
+  single pipeline vector: which features were tested and how much each
+  tree contributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..metrics import QErrorSummary, summarize_predictions
+from ..trees.tree import LEAF, Tree
+from ..datagen.workload import BenchmarkedQuery
+from .dataset import CardinalityKind, build_dataset
+from .features import FeatureRegistry, default_registry
+from .model import T3Model
+
+
+@dataclass(frozen=True)
+class FeatureImportance:
+    name: str
+    splits: int
+    fraction: float
+
+
+def feature_importance_report(model: T3Model,
+                              top: int = 20) -> List[FeatureImportance]:
+    """Features ranked by how often the ensemble splits on them."""
+    counts = model.booster.feature_importances()
+    total = max(int(counts.sum()), 1)
+    names = model.registry.feature_names()
+    order = np.argsort(counts)[::-1][:top]
+    return [FeatureImportance(names[i], int(counts[i]),
+                              float(counts[i]) / total)
+            for i in order if counts[i] > 0]
+
+
+def error_breakdown(model: T3Model, queries: Sequence[BenchmarkedQuery],
+                    key: Callable[[BenchmarkedQuery], str],
+                    kind: Optional[CardinalityKind] = None
+                    ) -> Dict[str, QErrorSummary]:
+    """Q-error summaries of ``model`` grouped by ``key(query)``.
+
+    Common keys: ``lambda q: q.group`` (Figure 8),
+    ``lambda q: q.instance_name``, or a runtime-bucket function.
+    """
+    kind = kind or model.config.cardinalities
+    dataset = build_dataset(queries, kind=kind, registry=model.registry)
+    predicted = model.predict_dataset(dataset)
+    actual = dataset.query_times()
+    buckets: Dict[str, Tuple[List[float], List[float]]] = {}
+    for index, query in enumerate(dataset.queries):
+        bucket = buckets.setdefault(key(query), ([], []))
+        bucket[0].append(float(predicted[index]))
+        bucket[1].append(float(actual[index]))
+    return {name: summarize_predictions(p, a)
+            for name, (p, a) in sorted(buckets.items())}
+
+
+def runtime_bucket(query: BenchmarkedQuery) -> str:
+    """Decade bucket of a query's measured runtime (for breakdowns)."""
+    import math
+    decade = int(math.floor(math.log10(max(query.median_time, 1e-9))))
+    return f"1e{decade}s"
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One decision on a tree's root-to-leaf path."""
+
+    feature: str
+    threshold: float
+    value: float
+    went_left: bool
+
+
+@dataclass
+class PredictionExplanation:
+    """Decomposition of one raw model evaluation.
+
+    ``tree_contributions[i]`` is tree ``i``'s leaf value; their sum plus
+    ``base_score`` is the transformed prediction. ``feature_touches``
+    counts how often each feature was tested across all paths —
+    the features the prediction actually depends on.
+    """
+
+    base_score: float
+    tree_contributions: np.ndarray
+    feature_touches: Dict[str, int]
+    paths: List[List[PathStep]]
+
+    @property
+    def raw_prediction(self) -> float:
+        return float(self.base_score + self.tree_contributions.sum())
+
+    def top_features(self, top: int = 10) -> List[Tuple[str, int]]:
+        ranked = sorted(self.feature_touches.items(),
+                        key=lambda item: item[1], reverse=True)
+        return ranked[:top]
+
+
+def _walk_path(tree: Tree, x: np.ndarray,
+               names: Sequence[str]) -> Tuple[List[PathStep], float]:
+    node = 0
+    steps: List[PathStep] = []
+    while tree.left[node] != LEAF:
+        feature = int(tree.feature[node])
+        threshold = float(tree.threshold[node])
+        went_left = bool(x[feature] <= threshold)
+        steps.append(PathStep(names[feature], threshold,
+                              float(x[feature]), went_left))
+        node = int(tree.left[node] if went_left else tree.right[node])
+    return steps, float(tree.value[node])
+
+
+def explain_prediction(model: T3Model, vector: np.ndarray,
+                       collect_paths: bool = False) -> PredictionExplanation:
+    """Trace one pipeline vector through every tree of the ensemble."""
+    x = np.asarray(vector, dtype=np.float64)
+    if x.shape != (model.booster.n_features,):
+        raise TrainingError(
+            f"expected a vector of {model.booster.n_features} features")
+    names = model.registry.feature_names()
+    contributions = np.empty(model.booster.n_trees)
+    touches: Dict[str, int] = {}
+    paths: List[List[PathStep]] = []
+    for index, tree in enumerate(model.booster.trees):
+        steps, value = _walk_path(tree, x, names)
+        contributions[index] = value
+        for step in steps:
+            touches[step.feature] = touches.get(step.feature, 0) + 1
+        if collect_paths:
+            paths.append(steps)
+    return PredictionExplanation(model.booster.base_score, contributions,
+                                 touches, paths)
+
+
+def format_importance_table(importances: Sequence[FeatureImportance]) -> str:
+    """Human-readable importance listing."""
+    lines = [f"{'feature':44s} {'splits':>7s} {'share':>7s}"]
+    for item in importances:
+        lines.append(f"{item.name:44s} {item.splits:7d} "
+                     f"{item.fraction * 100:6.2f}%")
+    return "\n".join(lines)

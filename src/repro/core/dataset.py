@@ -1,0 +1,140 @@
+"""Pipeline-level training datasets from benchmarked workloads.
+
+Converts a list of :class:`~repro.datagen.workload.BenchmarkedQuery`
+into the flat matrices the tree trainer consumes: one row per pipeline,
+with per-tuple transformed targets, plus the bookkeeping needed to map
+pipeline predictions back to queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..engine.cardinality import (
+    CardinalityModel,
+    DistortedCardinalityModel,
+    EstimatedCardinalityModel,
+    ExactCardinalityModel,
+)
+from ..datagen.instances import get_instance
+from ..datagen.workload import BenchmarkedQuery
+from .features import FeatureRegistry, default_registry
+from .targets import transform_target, tuple_time_target
+
+
+class CardinalityKind(Enum):
+    """Which cardinalities feed the feature vectors."""
+
+    EXACT = "exact"
+    ESTIMATED = "estimated"
+
+
+def cardinality_model_for(query: BenchmarkedQuery,
+                          kind: CardinalityKind = CardinalityKind.EXACT,
+                          distortion: float = 1.0,
+                          seed: int = 0) -> CardinalityModel:
+    """A cardinality model for one query's instance.
+
+    ``distortion > 1`` wraps the model in a
+    :class:`~repro.engine.cardinality.DistortedCardinalityModel`
+    (Figure 12's protocol).
+    """
+    catalog = query.catalog
+    if catalog is None:
+        catalog = get_instance(query.instance_name).catalog
+    if kind is CardinalityKind.EXACT:
+        model: CardinalityModel = ExactCardinalityModel(catalog)
+    else:
+        model = EstimatedCardinalityModel(catalog)
+    if distortion > 1.0:
+        model = DistortedCardinalityModel(model, distortion, seed=seed)
+    return model
+
+
+@dataclass
+class PipelineDataset:
+    """Flat training data: one row per pipeline.
+
+    ``query_index[i]`` maps row ``i`` back to ``queries[query_index[i]]``
+    so query-level errors can be computed from pipeline predictions.
+    """
+
+    X: np.ndarray
+    y: np.ndarray                 # transformed per-tuple targets
+    input_cards: np.ndarray       # pipeline input cardinalities
+    pipeline_times: np.ndarray    # measured (median) pipeline times
+    query_index: np.ndarray
+    queries: List[BenchmarkedQuery]
+    registry: FeatureRegistry
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.y)
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    def query_times(self) -> np.ndarray:
+        """Measured (median) total time per query."""
+        return np.array([q.median_time for q in self.queries])
+
+    def rows_of_query(self, query_position: int) -> np.ndarray:
+        return np.nonzero(self.query_index == query_position)[0]
+
+
+def build_dataset(queries: Sequence[BenchmarkedQuery],
+                  kind: CardinalityKind = CardinalityKind.EXACT,
+                  distortion: float = 1.0,
+                  registry: Optional[FeatureRegistry] = None,
+                  n_runs: Optional[int] = None,
+                  seed: int = 0) -> PipelineDataset:
+    """Featurize and label a benchmarked workload.
+
+    ``n_runs`` restricts the number of benchmark repetitions used for
+    the median targets (Figure 14's ablation); ``None`` uses all runs.
+    """
+    if not queries:
+        raise TrainingError("cannot build a dataset from zero queries")
+    registry = registry or default_registry()
+    rows_X: List[np.ndarray] = []
+    rows_cards: List[np.ndarray] = []
+    rows_times: List[np.ndarray] = []
+    rows_query: List[np.ndarray] = []
+
+    for position, query in enumerate(queries):
+        model = cardinality_model_for(query, kind, distortion,
+                                      seed=seed + position)
+        vectors, cards = registry.vectors_for_plan(query.plan, model)
+        times = query.pipeline_targets(n_runs)
+        if len(times) != len(vectors):
+            raise TrainingError(
+                f"{query.name}: {len(times)} measured pipelines vs "
+                f"{len(vectors)} featurized")
+        rows_X.append(vectors)
+        rows_cards.append(cards)
+        rows_times.append(np.asarray(times))
+        rows_query.append(np.full(len(vectors), position, dtype=np.int64))
+
+    X = np.concatenate(rows_X)
+    input_cards = np.concatenate(rows_cards)
+    pipeline_times = np.concatenate(rows_times)
+    query_index = np.concatenate(rows_query)
+    y = transform_target(tuple_time_target(pipeline_times, input_cards))
+    return PipelineDataset(X, y, input_cards, pipeline_times, query_index,
+                           list(queries), registry)
+
+
+def split_by_family(queries: Sequence[BenchmarkedQuery],
+                    test_families: Sequence[str]
+                    ) -> Dict[str, List[BenchmarkedQuery]]:
+    """Leave-out split: train on all families except ``test_families``."""
+    test_set = set(test_families)
+    train = [q for q in queries if q.family not in test_set]
+    test = [q for q in queries if q.family in test_set]
+    return {"train": train, "test": test}

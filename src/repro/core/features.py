@@ -1,0 +1,283 @@
+"""Pipeline feature vectors (Section 3 of the paper).
+
+Every pipeline becomes one fixed-size flat vector. Features are defined
+*per operator stage* from a small set of generic basic features —
+**percentage** (fraction of the pipeline's starting tuples reaching a
+stream), **size** (bytes per tuple on a stream), and **cardinality** —
+plus a **count** per stage and per-expression-class percentages for
+table scans. Duplicate operator stages within a pipeline sum their
+features (the paper's *feature addition*), which is why every basic
+feature is designed to stay meaningful under addition.
+
+The registry assigns indices automatically from the per-stage feature
+declarations, so adding an operator requires only a new entry in
+``_STAGE_FEATURES`` (the paper's "little manual work" property).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import FeatureError
+from ..engine.cardinality import CardinalityModel
+from ..engine.expressions import ExpressionKind
+from ..engine.physical import (
+    PFilter,
+    PGroupBy,
+    PhysicalOperator,
+    PhysicalPlan,
+    PIndexNLJoin,
+    PMap,
+    PSort,
+    PTableScan,
+    PTopK,
+)
+from ..engine.pipelines import (
+    Pipeline,
+    StageFlow,
+    compute_stage_flows,
+    decompose_into_pipelines,
+    pipeline_input_cardinality,
+)
+from ..engine.stages import OperatorType, Stage, all_operator_stage_pairs
+
+#: Table-scan expression classes with dedicated percentage features.
+_EXPRESSION_CLASSES = (
+    ExpressionKind.COMPARISON,
+    ExpressionKind.BETWEEN,
+    ExpressionKind.IN_LIST,
+    ExpressionKind.LIKE,
+    ExpressionKind.OTHER,
+)
+
+#: Basic features per (operator, stage), beyond the implicit ``count``.
+#: Names follow the paper's ``<stream>_<kind>`` convention.
+_STAGE_FEATURES: Dict[Tuple[OperatorType, Stage], Tuple[str, ...]] = {
+    (OperatorType.TABLE_SCAN, Stage.SCAN): (
+        "in_card", "in_size", "out_percentage",
+        "expr_comparison_percentage", "expr_between_percentage",
+        "expr_in_percentage", "expr_like_percentage",
+        "expr_other_percentage"),
+    (OperatorType.FILTER, Stage.PASS_THROUGH): (
+        "in_percentage", "out_percentage", "expr_weight"),
+    (OperatorType.MAP, Stage.PASS_THROUGH): (
+        "in_percentage", "n_operations"),
+    (OperatorType.HASH_JOIN, Stage.BUILD): (
+        "in_card", "in_size", "in_percentage"),
+    (OperatorType.HASH_JOIN, Stage.PROBE): (
+        "in_card", "in_size", "right_percentage", "out_percentage"),
+    (OperatorType.SEMI_JOIN, Stage.BUILD): (
+        "in_card", "in_size", "in_percentage"),
+    (OperatorType.SEMI_JOIN, Stage.PROBE): (
+        "in_card", "right_percentage", "out_percentage"),
+    (OperatorType.ANTI_JOIN, Stage.BUILD): (
+        "in_card", "in_size", "in_percentage"),
+    (OperatorType.ANTI_JOIN, Stage.PROBE): (
+        "in_card", "right_percentage", "out_percentage"),
+    (OperatorType.INDEX_NL_JOIN, Stage.PASS_THROUGH): (
+        "in_card", "in_percentage", "out_percentage"),
+    (OperatorType.BNL_JOIN, Stage.BUILD): (
+        "in_card", "in_size", "in_percentage"),
+    (OperatorType.BNL_JOIN, Stage.PROBE): (
+        "in_card", "right_percentage", "out_percentage"),
+    (OperatorType.CROSS_PRODUCT, Stage.BUILD): (
+        "in_card", "in_size", "in_percentage"),
+    (OperatorType.CROSS_PRODUCT, Stage.PROBE): (
+        "in_card", "right_percentage", "out_percentage"),
+    (OperatorType.GROUP_BY, Stage.BUILD): (
+        "in_percentage", "out_card", "out_size", "n_aggregates", "n_keys"),
+    (OperatorType.GROUP_BY, Stage.SCAN): ("in_card", "out_percentage"),
+    (OperatorType.SIMPLE_AGG, Stage.BUILD): ("in_percentage", "n_aggregates"),
+    (OperatorType.SIMPLE_AGG, Stage.SCAN): ("in_card",),
+    (OperatorType.SORT, Stage.BUILD): (
+        "in_card", "in_size", "in_percentage", "n_keys"),
+    (OperatorType.SORT, Stage.SCAN): ("in_card", "out_percentage"),
+    (OperatorType.TOP_K, Stage.BUILD): ("in_percentage", "out_card", "n_keys"),
+    (OperatorType.TOP_K, Stage.SCAN): ("in_card",),
+    (OperatorType.LIMIT, Stage.PASS_THROUGH): (
+        "in_percentage", "out_percentage"),
+    (OperatorType.WINDOW, Stage.BUILD): ("in_card", "in_size", "in_percentage"),
+    (OperatorType.WINDOW, Stage.SCAN): ("in_card", "out_percentage"),
+    (OperatorType.DISTINCT, Stage.BUILD): (
+        "in_card", "in_size", "in_percentage", "out_card"),
+    (OperatorType.DISTINCT, Stage.SCAN): ("in_card", "out_percentage"),
+    (OperatorType.MATERIALIZE, Stage.BUILD): (
+        "in_card", "in_size", "in_percentage"),
+    (OperatorType.MATERIALIZE, Stage.SCAN): ("in_card", "out_percentage"),
+    (OperatorType.UNION, Stage.BUILD): ("in_size", "in_percentage"),
+    (OperatorType.UNION, Stage.SCAN): ("in_card",),
+    (OperatorType.ASSERT_SINGLE, Stage.PASS_THROUGH): ("in_percentage",),
+}
+
+
+class FeatureRegistry:
+    """Assigns a stable index to every feature and builds vectors.
+
+    Feature names are ``<Operator>_<Stage>_<basic feature>``, e.g.
+    ``HashJoin_Probe_right_percentage`` — the exact naming of the
+    paper's Listings 3 and 4.
+    """
+
+    def __init__(self):
+        self._index: Dict[str, int] = {}
+        for op_type, stage in all_operator_stage_pairs():
+            self._register(f"{op_type.value}_{stage.value}_count")
+            for suffix in _STAGE_FEATURES.get((op_type, stage), ()):
+                self._register(f"{op_type.value}_{stage.value}_{suffix}")
+
+    def _register(self, name: str) -> None:
+        if name in self._index:
+            raise FeatureError(f"duplicate feature {name!r}")
+        self._index[name] = len(self._index)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def n_features(self) -> int:
+        return len(self._index)
+
+    def feature_names(self) -> List[str]:
+        return list(self._index)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise FeatureError(f"unknown feature {name!r}") from None
+
+    def describe_vector(self, vector: np.ndarray,
+                        skip_zeros: bool = True) -> str:
+        """Render a vector the way the paper's listings do."""
+        lines = []
+        for name, index in self._index.items():
+            value = vector[index]
+            if skip_zeros and value == 0:
+                continue
+            lines.append(f"{name}: {value:,.6g}")
+        return "\n".join(lines)
+
+    # -- vector construction ---------------------------------------------------
+
+    def vector_for_pipeline(self, pipeline: Pipeline,
+                            model: CardinalityModel) -> np.ndarray:
+        """One flat feature vector for one pipeline (Listing 1)."""
+        vector = np.zeros(self.n_features, dtype=np.float64)
+        start = max(pipeline_input_cardinality(pipeline, model), 1.0)
+        for flow in compute_stage_flows(pipeline, model):
+            self._add_stage(vector, flow, start, model)
+        return vector
+
+    def vectors_for_plan(self, plan: PhysicalPlan,
+                         model: CardinalityModel
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Feature matrix plus input cardinalities for all pipelines."""
+        pipelines = decompose_into_pipelines(plan)
+        vectors = np.empty((len(pipelines), self.n_features))
+        cards = np.empty(len(pipelines))
+        for i, pipeline in enumerate(pipelines):
+            vectors[i] = self.vector_for_pipeline(pipeline, model)
+            cards[i] = pipeline_input_cardinality(pipeline, model)
+        return vectors, cards
+
+    # -- per-stage feature extraction -----------------------------------------
+
+    def _add(self, vector: np.ndarray, op_type: OperatorType, stage: Stage,
+             suffix: str, value: float) -> None:
+        vector[self._index[f"{op_type.value}_{stage.value}_{suffix}"]] += value
+
+    def _add_stage(self, vector: np.ndarray, flow: StageFlow, start: float,
+                   model: CardinalityModel) -> None:
+        op = flow.ref.operator
+        op_type, stage = op.op_type, flow.ref.stage
+        key = (op_type, stage)
+        if key not in _STAGE_FEATURES and f"{op_type.value}_{stage.value}_count" not in self._index:
+            raise FeatureError(f"no features declared for {key}")
+        self._add(vector, op_type, stage, "count", 1.0)
+        declared = _STAGE_FEATURES.get(key, ())
+        values = self._basic_features(flow, start, model, declared)
+        for suffix in declared:
+            self._add(vector, op_type, stage, suffix, values[suffix])
+
+    def _basic_features(self, flow: StageFlow, start: float,
+                        model: CardinalityModel,
+                        declared: Sequence[str]) -> Dict[str, float]:
+        op = flow.ref.operator
+        stage = flow.ref.stage
+        values: Dict[str, float] = {}
+        for suffix in declared:
+            if suffix == "in_card":
+                if stage is Stage.PROBE:
+                    values[suffix] = flow.state_cardinality
+                elif isinstance(op, PIndexNLJoin):
+                    values[suffix] = float(op.inner_rows_hint)
+                else:
+                    values[suffix] = flow.tuples_in
+            elif suffix == "in_size":
+                if isinstance(op, PTableScan):
+                    values[suffix] = float(op.scan_byte_width)
+                else:
+                    values[suffix] = float(flow.stored_byte_width)
+            elif suffix == "in_percentage":
+                values[suffix] = flow.tuples_in / start
+            elif suffix == "right_percentage":
+                values[suffix] = flow.tuples_in / start
+            elif suffix == "out_percentage":
+                values[suffix] = flow.tuples_out / start
+            elif suffix == "out_card":
+                values[suffix] = flow.materialized_cardinality
+            elif suffix == "out_size":
+                values[suffix] = float(op.output_byte_width)
+            elif suffix == "n_aggregates":
+                values[suffix] = float(len(op.aggregates))
+            elif suffix == "n_keys":
+                if isinstance(op, PGroupBy):
+                    values[suffix] = float(len(op.group_columns))
+                elif isinstance(op, (PSort, PTopK)):
+                    values[suffix] = float(len(op.keys))
+                else:
+                    values[suffix] = 0.0
+            elif suffix == "n_operations":
+                values[suffix] = float(op.n_operations) * (flow.tuples_in / start)
+            elif suffix == "expr_weight":
+                weight = sum(p.evaluation_cost_weight() for p in op.predicates)
+                values[suffix] = weight * (flow.tuples_in / start)
+            elif suffix.startswith("expr_"):
+                values.update(self._expression_percentages(op, start, model))
+            else:  # pragma: no cover - registry and extractor stay in sync
+                raise FeatureError(f"no extractor for basic feature {suffix!r}")
+        return values
+
+    def _expression_percentages(self, op: PTableScan, start: float,
+                                model: CardinalityModel) -> Dict[str, float]:
+        """Per-class fractions of scanned tuples each predicate class is
+        evaluated on (short-circuit conjunction, Section 3)."""
+        fractions = {kind: 0.0 for kind in _EXPRESSION_CLASSES}
+        surviving = 1.0
+        for predicate in op.predicates:
+            kind = predicate.kind
+            if kind not in fractions:
+                kind = ExpressionKind.OTHER
+            fractions[kind] += surviving
+            surviving *= model.predicate_selectivity(predicate)
+        scale = model.base_cardinality(op) / start if start else 1.0
+        return {
+            "expr_comparison_percentage":
+                fractions[ExpressionKind.COMPARISON] * scale,
+            "expr_between_percentage": fractions[ExpressionKind.BETWEEN] * scale,
+            "expr_in_percentage": fractions[ExpressionKind.IN_LIST] * scale,
+            "expr_like_percentage": fractions[ExpressionKind.LIKE] * scale,
+            "expr_other_percentage": fractions[ExpressionKind.OTHER] * scale,
+        }
+
+
+_DEFAULT: FeatureRegistry = None
+
+
+def default_registry() -> FeatureRegistry:
+    """The shared registry instance (feature layout is global state)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = FeatureRegistry()
+    return _DEFAULT

@@ -1,0 +1,34 @@
+"""Training-data generation: instances, queries, and benchmarking.
+
+Mirrors Section 4 of the paper:
+
+* :mod:`repro.datagen.instances` — the corpus of 21 database instances
+  (TPC-H and TPC-DS at scale factors 1/10/100, the JOB/IMDB instance,
+  and 14 real-world-like synthetic instances),
+* :mod:`repro.datagen.tablegen` — concrete numpy data for the real
+  executor at reduced scale,
+* :mod:`repro.datagen.structures` / :mod:`repro.datagen.querygen` — the
+  16 modular query structures and the random query generator,
+* :mod:`repro.datagen.benchmarks_tpch` / ``_tpcds`` / ``_job`` — the
+  fixed benchmark query suites,
+* :mod:`repro.datagen.workload` — end-to-end dataset assembly: generate
+  queries, optimize them, and benchmark them on the simulator.
+"""
+
+from .instances import Instance, get_instance, all_instance_names, instance_families
+from .structures import QUERY_STRUCTURES, QueryStructure
+from .querygen import RandomQueryGenerator
+from .workload import BenchmarkedQuery, WorkloadBuilder, WorkloadConfig
+
+__all__ = [
+    "Instance",
+    "get_instance",
+    "all_instance_names",
+    "instance_families",
+    "QUERY_STRUCTURES",
+    "QueryStructure",
+    "RandomQueryGenerator",
+    "BenchmarkedQuery",
+    "WorkloadBuilder",
+    "WorkloadConfig",
+]

@@ -1,0 +1,171 @@
+"""Shared helpers for building the fixed benchmark query suites.
+
+The published SQL texts of TPC-H/TPC-DS/JOB are reproduced here as
+logical plans. The helpers keep the per-query builders compact: they
+resolve join edges from the schema and turn target selectivities into
+concrete literals via the catalog's distributions, so each query has the
+same *structural* behaviour (join shape, selectivity profile) as its SQL
+original.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..rng import derive_rng
+from ..engine.expressions import (
+    Aggregate,
+    AggregateFunction,
+    BetweenPredicate,
+    ComparisonOp,
+    ComparisonPredicate,
+    InListPredicate,
+    LikePredicate,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+)
+from ..engine.logical import (
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalNode,
+    LogicalScan,
+    LogicalSort,
+    LogicalTopK,
+)
+from .instances import Instance
+
+NamedQuery = Tuple[str, LogicalNode]
+
+
+class BenchmarkQueryBuilder:
+    """Compact construction API for fixed benchmark suites."""
+
+    def __init__(self, instance: Instance):
+        self.instance = instance
+        self.schema = instance.schema
+        self.catalog = instance.catalog
+
+    # -- scans ------------------------------------------------------------
+
+    def scan(self, table: str, predicates: Sequence[Predicate] = (),
+             correlation: float = 1.0) -> LogicalScan:
+        return LogicalScan(table, list(predicates), correlation)
+
+    # -- predicates with selectivity-targeted literals ----------------------
+
+    def _distribution(self, table: str, column: str):
+        return self.catalog.column_stats(table, column).distribution
+
+    def le(self, table: str, column: str, fraction: float) -> Predicate:
+        """``column <= quantile(fraction)`` — keeps ~``fraction`` of rows."""
+        value = self._distribution(table, column).quantile(fraction)
+        return ComparisonPredicate(table, column, ComparisonOp.LE, float(value))
+
+    def ge(self, table: str, column: str, fraction: float) -> Predicate:
+        """``column >= quantile(1 - fraction)`` — keeps ~``fraction``."""
+        value = self._distribution(table, column).quantile(1.0 - fraction)
+        return ComparisonPredicate(table, column, ComparisonOp.GE, float(value))
+
+    def eq(self, table: str, column: str,
+           position: float = 0.5) -> Predicate:
+        """Equality with the value at ``position`` in the distribution."""
+        value = self._distribution(table, column).quantile(position)
+        return ComparisonPredicate(table, column, ComparisonOp.EQ, float(value))
+
+    def ne(self, table: str, column: str, position: float = 0.5) -> Predicate:
+        value = self._distribution(table, column).quantile(position)
+        return ComparisonPredicate(table, column, ComparisonOp.NE, float(value))
+
+    def between(self, table: str, column: str, start: float,
+                width: float) -> Predicate:
+        """Range covering ~``width`` of the rows starting at ``start``."""
+        dist = self._distribution(table, column)
+        low = dist.quantile(start)
+        high = dist.quantile(min(1.0, start + width))
+        if high < low:
+            low, high = high, low
+        return BetweenPredicate(table, column, float(low), float(high))
+
+    def isin(self, table: str, column: str,
+             positions: Sequence[float]) -> Predicate:
+        dist = self._distribution(table, column)
+        values = sorted({float(dist.quantile(p)) for p in positions})
+        return InListPredicate(table, column, values)
+
+    def like(self, table: str, column: str, fraction: float,
+             label: str = "") -> Predicate:
+        """LIKE predicate matching ~``fraction`` of the dictionary codes."""
+        dist = self._distribution(table, column)
+        n_match = max(1, min(dist.n_distinct,
+                             int(round(dist.n_distinct * fraction))))
+        n_match = min(n_match, 50_000)
+        rng = derive_rng(0x11CE, self.instance.name, table, column, label)
+        codes = rng.choice(dist.n_distinct, size=n_match, replace=False)
+        return LikePredicate(table, column, pattern=f"%{label or column}%",
+                             matching_codes=[int(c) for c in codes])
+
+    def not_like(self, table: str, column: str, fraction: float,
+                 label: str = "") -> Predicate:
+        return NotPredicate(self.like(table, column, fraction, label))
+
+    def either(self, *parts: Predicate) -> Predicate:
+        return OrPredicate(list(parts))
+
+    # -- joins ---------------------------------------------------------------
+
+    def join(self, left: LogicalNode, right: LogicalNode, left_table: str,
+             right_table: str, kind: str = "inner") -> LogicalJoin:
+        """Join two subtrees along the declared edge between two tables."""
+        edge = self.schema.edge_between(left_table, right_table)
+        if edge is None:
+            raise WorkloadError(
+                f"no join edge between {left_table!r} and {right_table!r}")
+        return LogicalJoin(left, right, edge, kind)
+
+    def chain(self, first: LogicalNode, first_table: str,
+              *steps: Tuple[LogicalNode, str, str]) -> LogicalNode:
+        """Left-deep join chain: each step is (node, from_table, to_table)."""
+        plan = first
+        for node, from_table, to_table in steps:
+            plan = self.join(plan, node, from_table, to_table)
+        return plan
+
+    # -- aggregation shortcuts --------------------------------------------------
+
+    def group(self, plan: LogicalNode, keys: Sequence[Tuple[str, str]],
+              aggregates: Sequence[Aggregate]) -> LogicalGroupBy:
+        return LogicalGroupBy(plan, list(keys), list(aggregates))
+
+    def agg(self, plan: LogicalNode,
+            aggregates: Sequence[Aggregate]) -> LogicalGroupBy:
+        return LogicalGroupBy(plan, [], list(aggregates))
+
+    def sort(self, plan: LogicalNode,
+             keys: Sequence[Tuple[str, str]]) -> LogicalSort:
+        return LogicalSort(plan, list(keys))
+
+    def topk(self, plan: LogicalNode, keys: Sequence[Tuple[str, str]],
+             k: int) -> LogicalTopK:
+        return LogicalTopK(plan, list(keys), k)
+
+
+def sum_of(column: str) -> Aggregate:
+    return Aggregate(AggregateFunction.SUM, column)
+
+
+def avg_of(column: str) -> Aggregate:
+    return Aggregate(AggregateFunction.AVG, column)
+
+
+def min_of(column: str) -> Aggregate:
+    return Aggregate(AggregateFunction.MIN, column)
+
+
+def max_of(column: str) -> Aggregate:
+    return Aggregate(AggregateFunction.MAX, column)
+
+
+def count_rows() -> Aggregate:
+    return Aggregate(AggregateFunction.COUNT)

@@ -1,0 +1,153 @@
+"""The Join Order Benchmark (JOB): 113 join queries over the IMDB schema.
+
+The published JOB [23] consists of 113 queries in 33 families (1a, 1b,
+..., 33c): select-project-join queries over IMDB with 3-12 joins,
+realistic correlated predicates, and a final aggregation to a single
+row. This module reproduces the suite: 33 families are formed by
+combining join *blocks* (companies, keywords, info, cast, alternative
+titles) around the central ``title`` table; each family has 3-4 filter
+variants, for exactly 113 queries.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..rng import derive_rng
+from ..engine.logical import LogicalNode
+from .benchmarks_common import (
+    BenchmarkQueryBuilder,
+    NamedQuery,
+    count_rows,
+    min_of,
+)
+from .instances import Instance, get_instance
+
+#: Join blocks: table groups that attach to ``title`` as a unit.
+_BLOCKS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("mc", ("movie_companies", "company_name", "company_type")),
+    ("mk", ("movie_keyword", "keyword")),
+    ("mi", ("movie_info", "info_type")),
+    ("mii", ("movie_info_idx",)),
+    ("ci", ("cast_info", "name", "role_type")),
+    ("at", ("aka_title",)),
+)
+
+N_FAMILIES = 33
+N_QUERIES = 113
+
+
+def _families() -> List[Tuple[str, ...]]:
+    """The 33 block combinations that define the query families."""
+    combos: List[Tuple[str, ...]] = []
+    names = [name for name, _ in _BLOCKS]
+    for size in (1, 2, 3):
+        for combo in combinations(names, size):
+            combos.append(combo)
+    return combos[:N_FAMILIES]
+
+
+def _variant_counts() -> List[int]:
+    """Variants per family summing to exactly 113 (33 × 3 + 14 extras)."""
+    counts = [3] * N_FAMILIES
+    for family_index in range(N_QUERIES - 3 * N_FAMILIES):
+        counts[family_index] += 1
+    return counts
+
+
+def _block_tables(block_name: str) -> Tuple[str, ...]:
+    for name, tables in _BLOCKS:
+        if name == block_name:
+            return tables
+    raise WorkloadError(f"unknown JOB block {block_name!r}")
+
+
+def _connect(builder: BenchmarkQueryBuilder,
+             scans: Sequence[Tuple[str, LogicalNode]]) -> LogicalNode:
+    """Left-deep join of scans; each new table attaches via a schema edge."""
+    plan_tables = [scans[0][0]]
+    plan = scans[0][1]
+    for table, scan in scans[1:]:
+        attached = False
+        for existing in plan_tables:
+            edge = builder.schema.edge_between(existing, table)
+            if edge is not None:
+                plan = builder.join(plan, scan, existing, table)
+                plan_tables.append(table)
+                attached = True
+                break
+        if not attached:
+            raise WorkloadError(f"cannot attach {table!r} to join tree")
+    return plan
+
+
+def _build_query(builder: BenchmarkQueryBuilder, blocks: Tuple[str, ...],
+                 variant: int) -> LogicalNode:
+    rng = derive_rng(0x10B, "job", blocks, variant)
+    title_predicates = []
+    if rng.random() < 0.8:
+        start = float(rng.uniform(0.3, 0.9))
+        title_predicates.append(
+            builder.between("title", "production_year", start,
+                            float(rng.uniform(0.02, 0.3))))
+    scans: List[Tuple[str, LogicalNode]] = [
+        ("title", builder.scan("title", title_predicates))]
+
+    for block_name in blocks:
+        for table in _block_tables(block_name):
+            predicates = []
+            if table == "company_name" and rng.random() < 0.7:
+                predicates.append(builder.eq(
+                    "company_name", "country_code", float(rng.uniform(0.05, 0.95))))
+            elif table == "keyword":
+                predicates.append(builder.like(
+                    "keyword", "keyword", float(rng.uniform(0.0005, 0.02)),
+                    f"kw{variant}"))
+            elif table == "info_type":
+                predicates.append(builder.eq(
+                    "info_type", "info", float(rng.uniform(0.05, 0.95))))
+            elif table == "name" and rng.random() < 0.5:
+                predicates.append(builder.eq(
+                    "name", "gender", float(rng.uniform(0.1, 0.9))))
+            elif table == "cast_info" and rng.random() < 0.6:
+                predicates.append(builder.isin(
+                    "cast_info", "nr_order",
+                    [float(p) for p in rng.uniform(0.05, 0.6, size=3)]))
+            elif table == "movie_companies" and rng.random() < 0.4:
+                predicates.append(builder.like(
+                    "movie_companies", "note", float(rng.uniform(0.005, 0.1)),
+                    f"note{variant}"))
+            elif table == "movie_info" and rng.random() < 0.5:
+                predicates.append(builder.like(
+                    "movie_info", "info", float(rng.uniform(0.001, 0.05)),
+                    f"mi{variant}"))
+            scans.append((table, builder.scan(table, predicates)))
+
+    plan = _connect(builder, scans)
+    # JOB queries aggregate to a single row (MIN over result columns).
+    aggregates = [min_of("title.production_year"), count_rows()]
+    return builder.agg(plan, aggregates)
+
+
+def job_family_blocks() -> List[Tuple[str, ...]]:
+    """Public view of the family definitions (for tests and docs)."""
+    return _families()
+
+
+def job_queries(instance: Instance = None) -> List[NamedQuery]:
+    """All 113 JOB queries (named ``job_1a`` ... ``job_33d``)."""
+    instance = instance or get_instance("imdb")
+    builder = BenchmarkQueryBuilder(instance)
+    queries: List[NamedQuery] = []
+    for family_index, (blocks, n_variants) in enumerate(
+            zip(_families(), _variant_counts()), start=1):
+        for variant in range(n_variants):
+            suffix = "abcd"[variant]
+            queries.append((f"job_{family_index}{suffix}",
+                            _build_query(builder, blocks, variant)))
+    if len(queries) != N_QUERIES:
+        raise WorkloadError(
+            f"JOB suite has {len(queries)} queries, expected {N_QUERIES}")
+    return queries

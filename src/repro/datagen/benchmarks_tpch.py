@@ -1,0 +1,313 @@
+"""The 22 TPC-H benchmark queries as logical plans.
+
+Each builder reproduces the *plan structure* of the published SQL on the
+instance schema: the same join graph, aggregation keys, orderings, and
+selectivity profile (date ranges covering one year select ~1/7 of a
+7-year domain, ``r_name = 'ASIA'`` selects 1/5 of regions, and so on).
+Correlated subqueries are lowered the way a real optimizer unnests them:
+EXISTS → semi join, NOT EXISTS → anti join, scalar subqueries → extra
+aggregation passes.
+
+The suite runs against any ``tpch`` family instance (sf 1/10/100).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..engine.logical import LogicalNode
+from .benchmarks_common import (
+    BenchmarkQueryBuilder,
+    NamedQuery,
+    avg_of,
+    count_rows,
+    max_of,
+    min_of,
+    sum_of,
+)
+from .instances import Instance, get_instance
+
+#: One year out of the ~7-year TPC-H date domain.
+YEAR = 1.0 / 7.0
+
+
+def _q1(b: BenchmarkQueryBuilder) -> LogicalNode:
+    lineitem = b.scan("lineitem", [b.le("lineitem", "l_shipdate", 0.97)])
+    grouped = b.group(
+        lineitem,
+        [("lineitem", "l_returnflag"), ("lineitem", "l_linestatus")],
+        [sum_of("lineitem.l_quantity"), sum_of("lineitem.l_extendedprice"),
+         sum_of("lineitem.l_discount"), avg_of("lineitem.l_quantity"),
+         avg_of("lineitem.l_extendedprice"), avg_of("lineitem.l_discount"),
+         count_rows()])
+    return b.sort(grouped, [("lineitem", "l_returnflag"),
+                            ("lineitem", "l_linestatus")])
+
+
+def _q2(b: BenchmarkQueryBuilder) -> LogicalNode:
+    part = b.scan("part", [b.eq("part", "p_size", 0.3),
+                           b.like("part", "p_type", 1.0 / 6.0, "BRASS")])
+    plan = b.join(b.scan("partsupp"), part, "partsupp", "part")
+    plan = b.join(plan, b.scan("supplier"), "partsupp", "supplier")
+    plan = b.join(plan, b.scan("nation"), "supplier", "nation")
+    plan = b.join(plan, b.scan("region", [b.eq("region", "r_name", 0.2)]),
+                  "nation", "region")
+    grouped = b.group(plan, [("partsupp", "ps_partkey")],
+                      [min_of("partsupp.ps_supplycost")])
+    return b.topk(grouped, [("#computed", "agg_0")], 100)
+
+
+def _q3(b: BenchmarkQueryBuilder) -> LogicalNode:
+    customer = b.scan("customer", [b.eq("customer", "c_mktsegment", 0.3)])
+    orders = b.scan("orders", [b.le("orders", "o_orderdate", 0.45)])
+    lineitem = b.scan("lineitem", [b.ge("lineitem", "l_shipdate", 0.55)])
+    plan = b.join(customer, orders, "customer", "orders")
+    plan = b.join(plan, lineitem, "orders", "lineitem")
+    grouped = b.group(
+        plan,
+        [("lineitem", "l_orderkey"), ("orders", "o_orderdate"),
+         ("orders", "o_shippriority")],
+        [sum_of("lineitem.l_extendedprice")])
+    return b.topk(grouped, [("#computed", "agg_0"),
+                            ("orders", "o_orderdate")], 10)
+
+
+def _q4(b: BenchmarkQueryBuilder) -> LogicalNode:
+    orders = b.scan("orders",
+                    [b.between("orders", "o_orderdate", 0.5, YEAR / 4)])
+    late = b.scan("lineitem", [b.le("lineitem", "l_commitdate", 0.63)])
+    plan = b.join(late, orders, "lineitem", "orders", kind="semi")
+    grouped = b.group(plan, [("orders", "o_orderpriority")], [count_rows()])
+    return b.sort(grouped, [("orders", "o_orderpriority")])
+
+
+def _q5(b: BenchmarkQueryBuilder) -> LogicalNode:
+    # The paper's running example (Figure 2). The region join is folded
+    # into a nation-key restriction (Umbra evaluates region x nation at
+    # optimization time); the remaining nation join is eliminated by the
+    # optimizer's small-table pass, leaving BETWEEN + IN predicates on
+    # c_nationkey — exactly the feature pattern of Listing 3.
+    customer = b.scan("customer")
+    orders = b.scan("orders",
+                    [b.between("orders", "o_orderdate", 0.3, YEAR)])
+    nation = b.scan("nation",
+                    [b.eq("nation", "n_regionkey", 0.6)])  # r_name = 'ASIA'
+    plan = b.join(customer, nation, "customer", "nation")
+    plan = b.join(plan, orders, "customer", "orders")
+    plan = b.join(plan, b.scan("lineitem"), "orders", "lineitem")
+    plan = b.join(plan, b.scan("supplier"), "lineitem", "supplier")
+    grouped = b.group(plan, [("customer", "c_nationkey")],
+                      [sum_of("lineitem.l_extendedprice")])
+    return b.topk(grouped, [("#computed", "agg_0")], 25)
+
+
+def _q6(b: BenchmarkQueryBuilder) -> LogicalNode:
+    lineitem = b.scan("lineitem", [
+        b.between("lineitem", "l_shipdate", 0.3, YEAR),
+        b.between("lineitem", "l_discount", 0.45, 0.27),
+        b.le("lineitem", "l_quantity", 0.48)])
+    return b.agg(lineitem, [sum_of("lineitem.l_extendedprice")])
+
+
+def _q7(b: BenchmarkQueryBuilder) -> LogicalNode:
+    supplier = b.scan("supplier")
+    lineitem = b.scan("lineitem",
+                      [b.between("lineitem", "l_shipdate", 0.55, 2 * YEAR)])
+    nation = b.scan("nation", [b.isin("nation", "n_name", [0.2, 0.8])])
+    plan = b.join(supplier, lineitem, "supplier", "lineitem")
+    plan = b.join(plan, b.scan("orders"), "lineitem", "orders")
+    plan = b.join(plan, b.scan("customer"), "orders", "customer")
+    plan = b.join(plan, nation, "supplier", "nation")
+    grouped = b.group(plan, [("nation", "n_name")],
+                      [sum_of("lineitem.l_extendedprice")])
+    return b.sort(grouped, [("nation", "n_name")])
+
+
+def _q8(b: BenchmarkQueryBuilder) -> LogicalNode:
+    part = b.scan("part", [b.eq("part", "p_type", 0.4)])
+    orders = b.scan("orders",
+                    [b.between("orders", "o_orderdate", 0.6, 2 * YEAR)])
+    region = b.scan("region", [b.eq("region", "r_name", 0.4)])
+    plan = b.join(part, b.scan("lineitem"), "part", "lineitem")
+    plan = b.join(plan, b.scan("supplier"), "lineitem", "supplier")
+    plan = b.join(plan, orders, "lineitem", "orders")
+    plan = b.join(plan, b.scan("customer"), "orders", "customer")
+    plan = b.join(plan, b.scan("nation"), "customer", "nation")
+    plan = b.join(plan, region, "nation", "region")
+    grouped = b.group(plan, [("orders", "o_orderdate")],
+                      [sum_of("lineitem.l_extendedprice")])
+    return b.sort(grouped, [("orders", "o_orderdate")])
+
+
+def _q9(b: BenchmarkQueryBuilder) -> LogicalNode:
+    part = b.scan("part", [b.like("part", "p_type", 0.08, "green")])
+    plan = b.join(part, b.scan("lineitem"), "part", "lineitem")
+    plan = b.join(plan, b.scan("supplier"), "lineitem", "supplier")
+    plan = b.join(plan, b.scan("partsupp"), "part", "partsupp")
+    plan = b.join(plan, b.scan("orders"), "lineitem", "orders")
+    plan = b.join(plan, b.scan("nation"), "supplier", "nation")
+    grouped = b.group(
+        plan, [("nation", "n_name"), ("orders", "o_orderdate")],
+        [sum_of("lineitem.l_extendedprice")])
+    return b.sort(grouped, [("nation", "n_name")])
+
+
+def _q10(b: BenchmarkQueryBuilder) -> LogicalNode:
+    orders = b.scan("orders",
+                    [b.between("orders", "o_orderdate", 0.7, YEAR / 4)])
+    lineitem = b.scan("lineitem", [b.eq("lineitem", "l_returnflag", 0.25)])
+    plan = b.join(b.scan("customer"), orders, "customer", "orders")
+    plan = b.join(plan, lineitem, "orders", "lineitem")
+    plan = b.join(plan, b.scan("nation"), "customer", "nation")
+    grouped = b.group(
+        plan,
+        [("customer", "c_custkey"), ("nation", "n_name")],
+        [sum_of("lineitem.l_extendedprice")])
+    return b.topk(grouped, [("#computed", "agg_0")], 20)
+
+
+def _q11(b: BenchmarkQueryBuilder) -> LogicalNode:
+    nation = b.scan("nation", [b.eq("nation", "n_name", 0.5)])
+    plan = b.join(b.scan("partsupp"), b.scan("supplier"),
+                  "partsupp", "supplier")
+    plan = b.join(plan, nation, "supplier", "nation")
+    grouped = b.group(plan, [("partsupp", "ps_partkey")],
+                      [sum_of("partsupp.ps_supplycost")])
+    return b.topk(grouped, [("#computed", "agg_0")], 1000)
+
+
+def _q12(b: BenchmarkQueryBuilder) -> LogicalNode:
+    lineitem = b.scan("lineitem", [
+        b.isin("lineitem", "l_shipmode", [0.2, 0.7]),
+        b.between("lineitem", "l_receiptdate", 0.4, YEAR)])
+    plan = b.join(b.scan("orders"), lineitem, "orders", "lineitem")
+    grouped = b.group(plan, [("lineitem", "l_shipmode")], [count_rows()])
+    return b.sort(grouped, [("lineitem", "l_shipmode")])
+
+
+def _q13(b: BenchmarkQueryBuilder) -> LogicalNode:
+    # Two-level aggregation: orders per customer, then count by order count.
+    orders = b.scan("orders",
+                    [b.not_like("orders", "o_orderpriority", 0.2, "special")])
+    per_customer = b.group(orders, [("orders", "o_custkey")], [count_rows()])
+    redistributed = b.group(per_customer, [("#computed", "agg_0")],
+                            [count_rows()])
+    return b.sort(redistributed, [("#computed", "agg_0")])
+
+
+def _q14(b: BenchmarkQueryBuilder) -> LogicalNode:
+    lineitem = b.scan("lineitem",
+                      [b.between("lineitem", "l_shipdate", 0.8, YEAR / 12)])
+    plan = b.join(lineitem, b.scan("part"), "lineitem", "part")
+    return b.agg(plan, [sum_of("lineitem.l_extendedprice"), count_rows()])
+
+
+def _q15(b: BenchmarkQueryBuilder) -> LogicalNode:
+    lineitem = b.scan("lineitem",
+                      [b.between("lineitem", "l_shipdate", 0.9, YEAR / 4)])
+    revenue = b.group(lineitem, [("lineitem", "l_suppkey")],
+                      [sum_of("lineitem.l_extendedprice")])
+    plan = b.join(revenue, b.scan("supplier"), "lineitem", "supplier")
+    return b.topk(plan, [("#computed", "agg_0")], 1)
+
+
+def _q16(b: BenchmarkQueryBuilder) -> LogicalNode:
+    part = b.scan("part", [
+        b.ne("part", "p_brand", 0.5),
+        b.not_like("part", "p_type", 1.0 / 6.0, "MEDIUM"),
+        b.isin("part", "p_size", [0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 0.95, 0.05])])
+    plan = b.join(b.scan("partsupp"), part, "partsupp", "part")
+    grouped = b.group(
+        plan,
+        [("part", "p_brand"), ("part", "p_type"), ("part", "p_size")],
+        [count_rows()])
+    return b.topk(grouped, [("#computed", "agg_0")], 1000)
+
+
+def _q17(b: BenchmarkQueryBuilder) -> LogicalNode:
+    part = b.scan("part", [b.eq("part", "p_brand", 0.4),
+                           b.eq("part", "p_container", 0.6)])
+    lineitem = b.scan("lineitem", [b.le("lineitem", "l_quantity", 0.1)])
+    plan = b.join(part, lineitem, "part", "lineitem")
+    return b.agg(plan, [sum_of("lineitem.l_extendedprice")])
+
+
+def _q18(b: BenchmarkQueryBuilder) -> LogicalNode:
+    big_orders = b.group(b.scan("lineitem"), [("lineitem", "l_orderkey")],
+                         [sum_of("lineitem.l_quantity")])
+    plan = b.join(big_orders, b.scan("orders"), "lineitem", "orders")
+    plan = b.join(plan, b.scan("customer"), "orders", "customer")
+    grouped = b.group(
+        plan,
+        [("customer", "c_custkey"), ("orders", "o_orderdate")],
+        [sum_of("orders.o_totalprice")])
+    return b.topk(grouped, [("#computed", "agg_0")], 100)
+
+
+def _q19(b: BenchmarkQueryBuilder) -> LogicalNode:
+    part = b.scan("part", [
+        b.either(b.eq("part", "p_brand", 0.2), b.eq("part", "p_brand", 0.5),
+                 b.eq("part", "p_brand", 0.8)),
+        b.le("part", "p_size", 0.3)])
+    lineitem = b.scan("lineitem", [
+        b.between("lineitem", "l_quantity", 0.2, 0.2),
+        b.isin("lineitem", "l_shipmode", [0.1, 0.6])])
+    plan = b.join(part, lineitem, "part", "lineitem")
+    return b.agg(plan, [sum_of("lineitem.l_extendedprice")])
+
+
+def _q20(b: BenchmarkQueryBuilder) -> LogicalNode:
+    part = b.scan("part", [b.like("part", "p_brand", 0.1, "forest")])
+    qualifying = b.join(part, b.scan("partsupp"), "part", "partsupp")
+    supplier = b.join(qualifying, b.scan("supplier"), "partsupp", "supplier",
+                      kind="semi")
+    plan = b.join(supplier, b.scan("nation", [b.eq("nation", "n_name", 0.3)]),
+                  "supplier", "nation")
+    return b.sort(plan, [("supplier", "s_name")])
+
+
+def _q21(b: BenchmarkQueryBuilder) -> LogicalNode:
+    orders = b.scan("orders", [b.eq("orders", "o_orderstatus", 0.9)])
+    lineitem = b.scan("lineitem",
+                      [b.ge("lineitem", "l_receiptdate", 0.5)])
+    plan = b.join(b.scan("supplier"), lineitem, "supplier", "lineitem")
+    plan = b.join(plan, orders, "lineitem", "orders")
+    plan = b.join(plan, b.scan("nation", [b.eq("nation", "n_name", 0.7)]),
+                  "supplier", "nation")
+    grouped = b.group(plan, [("supplier", "s_name")], [count_rows()])
+    return b.topk(grouped, [("#computed", "agg_0")], 100)
+
+
+def _q22(b: BenchmarkQueryBuilder) -> LogicalNode:
+    customer = b.scan("customer", [
+        b.isin("customer", "c_nationkey", [0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 0.95]),
+        b.ge("customer", "c_acctbal", 0.5)])
+    plan = b.join(b.scan("orders"), customer, "orders", "customer",
+                  kind="anti")
+    grouped = b.group(plan, [("customer", "c_nationkey")],
+                      [count_rows(), sum_of("customer.c_acctbal")])
+    return b.sort(grouped, [("customer", "c_nationkey")])
+
+
+_BUILDERS: Dict[str, Callable[[BenchmarkQueryBuilder], LogicalNode]] = {
+    f"tpch_q{i}": fn for i, fn in enumerate(
+        [_q1, _q2, _q3, _q4, _q5, _q6, _q7, _q8, _q9, _q10, _q11,
+         _q12, _q13, _q14, _q15, _q16, _q17, _q18, _q19, _q20, _q21, _q22],
+        start=1)
+}
+
+
+def tpch_query_names() -> List[str]:
+    return list(_BUILDERS)
+
+
+def tpch_queries(instance: Instance = None) -> List[NamedQuery]:
+    """All 22 TPC-H queries for a ``tpch`` family instance."""
+    instance = instance or get_instance("tpch_sf1")
+    builder = BenchmarkQueryBuilder(instance)
+    return [(name, build(builder)) for name, build in _BUILDERS.items()]
+
+
+def tpch_query(name: str, instance: Instance = None) -> LogicalNode:
+    instance = instance or get_instance("tpch_sf1")
+    return _BUILDERS[name](BenchmarkQueryBuilder(instance))

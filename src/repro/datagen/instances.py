@@ -1,0 +1,518 @@
+"""The corpus of 21 database instances.
+
+The paper trains on the 21 public instances collected by Hilprecht and
+Binnig for their zero-shot corpus [16] — TPC-H and TPC-DS at several
+scale factors plus real-world datasets (financial, health, sports, ...).
+Those datasets are not available offline, so this module defines
+schema-and-statistics equivalents:
+
+* TPC-H (sf 1/10/100), TPC-DS (sf 1/10/100) and JOB/IMDB are modeled
+  table-by-table after the published schemas and row counts,
+* the remaining instances are deterministic synthetic schemas whose
+  shapes (table counts, row-count spreads, fan-outs, skew) are drawn to
+  match the diversity of the original corpus.
+
+T3 never reads tuples — only schemas, statistics, and cardinalities —
+so instance diversity is the property that matters and is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..rng import derive_rng
+from ..engine.catalog import Catalog
+from ..engine.distributions import (
+    CategoricalCodes,
+    UniformInt,
+    ZipfInt,
+    uniform_categorical,
+    zipf_categorical,
+)
+from ..engine.schema import Column, DatabaseSchema, JoinEdge, TableSchema
+from ..engine.types import DataType
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One database instance: schema plus full statistics."""
+
+    name: str
+    family: str
+    schema: DatabaseSchema
+    catalog: Catalog
+
+
+class InstanceBuilder:
+    """Small DSL for declaring instances with consistent statistics."""
+
+    def __init__(self, name: str, family: Optional[str] = None, seed: int = 0):
+        self.name = name
+        self.family = family or name
+        self.seed = seed
+        self._tables: List[TableSchema] = []
+        self._edges: List[JoinEdge] = []
+        self._rows: Dict[str, int] = {}
+        self._distributions: Dict[str, Dict[str, object]] = {}
+
+    # -- tables ------------------------------------------------------------
+
+    def table(self, name: str, rows: int) -> "TableBuilder":
+        if rows < 1:
+            raise SchemaError(f"table {name!r} needs at least one row")
+        return TableBuilder(self, name, rows)
+
+    def _register_table(self, table: TableSchema, rows: int,
+                        distributions: Dict[str, object]) -> None:
+        self._tables.append(table)
+        self._rows[table.name] = rows
+        self._distributions[table.name] = distributions
+
+    def edge(self, left_table: str, left_column: str, right_table: str,
+             right_column: str, fanout: float = 1.0) -> None:
+        self._edges.append(JoinEdge(left_table, left_column,
+                                    right_table, right_column, fanout))
+
+    def build(self) -> Instance:
+        schema = DatabaseSchema(self.name, self._tables, self._edges)
+        catalog = Catalog(schema, seed=self.seed)
+        for table_name, rows in self._rows.items():
+            catalog.set_table_stats(table_name, rows)
+            for column_name, dist in self._distributions[table_name].items():
+                catalog.set_column_distribution(table_name, column_name, dist)
+        catalog.validate_complete()
+        return Instance(self.name, self.family, schema, catalog)
+
+
+class TableBuilder:
+    """Declares the columns of one table, with their distributions."""
+
+    def __init__(self, parent: InstanceBuilder, name: str, rows: int):
+        self._parent = parent
+        self.name = name
+        self.rows = rows
+        self._columns: List[Column] = []
+        self._distributions: Dict[str, object] = {}
+        self._primary_key: Optional[str] = None
+
+    def key(self, name: str) -> "TableBuilder":
+        """Dense integer primary key 1..rows."""
+        self._columns.append(Column(name, DataType.BIGINT))
+        self._distributions[name] = UniformInt(1, self.rows)
+        self._primary_key = name
+        return self
+
+    def fk(self, name: str, parent_rows: int) -> "TableBuilder":
+        """Foreign key referencing a dense 1..parent_rows key."""
+        self._columns.append(Column(name, DataType.BIGINT))
+        self._distributions[name] = UniformInt(1, max(1, parent_rows))
+        return self
+
+    def int_col(self, name: str, low: int, high: int,
+                skew: float = 0.0) -> "TableBuilder":
+        self._columns.append(Column(name, DataType.INT))
+        if skew > 0:
+            self._distributions[name] = ZipfInt(low, high - low + 1, skew)
+        else:
+            self._distributions[name] = UniformInt(low, high)
+        return self
+
+    def decimal_col(self, name: str, low: int, high: int,
+                    skew: float = 0.0) -> "TableBuilder":
+        self._columns.append(Column(name, DataType.DECIMAL))
+        if skew > 0:
+            self._distributions[name] = ZipfInt(low, high - low + 1, skew)
+        else:
+            self._distributions[name] = UniformInt(low, high)
+        return self
+
+    def date_col(self, name: str, n_days: int = 2557,
+                 start: int = 8035) -> "TableBuilder":
+        """Date column spanning ``n_days`` days (default: 1992-1998)."""
+        self._columns.append(Column(name, DataType.DATE))
+        self._distributions[name] = UniformInt(start, start + n_days - 1)
+        return self
+
+    #: Explicit pmf arrays are capped at this many dictionary codes;
+    #: higher-cardinality text columns are represented by a same-shaped
+    #: distribution over a coarser dictionary (their selectivity
+    #: behaviour is fraction-based and unaffected).
+    MAX_DICTIONARY_CODES = 50_000
+
+    def category(self, name: str, n_distinct: int,
+                 skew: float = 0.0) -> "TableBuilder":
+        """Dictionary-encoded short string (CHAR) column."""
+        self._columns.append(Column(name, DataType.CHAR))
+        n_distinct = min(n_distinct, self.MAX_DICTIONARY_CODES)
+        if skew > 0:
+            self._distributions[name] = zipf_categorical(n_distinct, skew)
+        else:
+            self._distributions[name] = uniform_categorical(n_distinct)
+        return self
+
+    def text(self, name: str, n_distinct: int,
+             skew: float = 1.0) -> "TableBuilder":
+        """Dictionary-encoded VARCHAR column (names, comments, ...)."""
+        self._columns.append(Column(name, DataType.VARCHAR))
+        n_distinct = min(n_distinct, self.MAX_DICTIONARY_CODES)
+        if skew > 0:
+            self._distributions[name] = zipf_categorical(n_distinct, skew)
+        else:
+            self._distributions[name] = uniform_categorical(n_distinct)
+        return self
+
+    def done(self) -> InstanceBuilder:
+        table = TableSchema(self.name, self._columns, self._primary_key)
+        self._parent._register_table(table, self.rows, self._distributions)
+        return self._parent
+
+
+# ---------------------------------------------------------------------------
+# TPC-H
+# ---------------------------------------------------------------------------
+
+
+def _build_tpch(scale_factor: int) -> Instance:
+    sf = scale_factor
+    b = InstanceBuilder(f"tpch_sf{sf}", family="tpch", seed=100 + sf)
+    n_customer = 150_000 * sf
+    n_orders = 1_500_000 * sf
+    n_lineitem = 6_000_000 * sf
+    n_part = 200_000 * sf
+    n_supplier = 10_000 * sf
+    n_partsupp = 800_000 * sf
+
+    (b.table("region", 5)
+     .key("r_regionkey").text("r_name", 5, 0.0).done())
+    (b.table("nation", 25)
+     .key("n_nationkey").fk("n_regionkey", 5).text("n_name", 25, 0.0).done())
+    (b.table("supplier", n_supplier)
+     .key("s_suppkey").fk("s_nationkey", 25)
+     .decimal_col("s_acctbal", -999, 9999).text("s_name", n_supplier).done())
+    (b.table("customer", n_customer)
+     .key("c_custkey").fk("c_nationkey", 25)
+     .decimal_col("c_acctbal", -999, 9999)
+     .category("c_mktsegment", 5).text("c_name", n_customer).done())
+    (b.table("part", n_part)
+     .key("p_partkey").category("p_brand", 25).category("p_type", 150)
+     .category("p_container", 40).int_col("p_size", 1, 50)
+     .decimal_col("p_retailprice", 900, 2000).done())
+    (b.table("partsupp", n_partsupp)
+     .fk("ps_partkey", n_part).fk("ps_suppkey", n_supplier)
+     .int_col("ps_availqty", 1, 9999)
+     .decimal_col("ps_supplycost", 1, 1000).done())
+    (b.table("orders", n_orders)
+     .key("o_orderkey").fk("o_custkey", n_customer)
+     .category("o_orderstatus", 3, 0.6).decimal_col("o_totalprice", 800, 500000)
+     .date_col("o_orderdate").category("o_orderpriority", 5)
+     .int_col("o_shippriority", 0, 0).done())
+    (b.table("lineitem", n_lineitem)
+     .fk("l_orderkey", n_orders).fk("l_partkey", n_part)
+     .fk("l_suppkey", n_supplier)
+     .int_col("l_linenumber", 1, 7)
+     .int_col("l_quantity", 1, 50)
+     .decimal_col("l_extendedprice", 900, 100000)
+     .decimal_col("l_discount", 0, 10)
+     .decimal_col("l_tax", 0, 8)
+     .category("l_returnflag", 3, 0.5).category("l_linestatus", 2)
+     .date_col("l_shipdate").date_col("l_commitdate").date_col("l_receiptdate")
+     .category("l_shipmode", 7).done())
+
+    b.edge("nation", "n_regionkey", "region", "r_regionkey")
+    b.edge("supplier", "s_nationkey", "nation", "n_nationkey")
+    b.edge("customer", "c_nationkey", "nation", "n_nationkey")
+    b.edge("orders", "o_custkey", "customer", "c_custkey")
+    b.edge("lineitem", "l_orderkey", "orders", "o_orderkey", fanout=4.0)
+    b.edge("lineitem", "l_partkey", "part", "p_partkey")
+    b.edge("lineitem", "l_suppkey", "supplier", "s_suppkey")
+    b.edge("partsupp", "ps_partkey", "part", "p_partkey")
+    b.edge("partsupp", "ps_suppkey", "supplier", "s_suppkey")
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# TPC-DS (representative 12-table subset of the 24-table schema)
+# ---------------------------------------------------------------------------
+
+
+def _build_tpcds(scale_factor: int) -> Instance:
+    sf = scale_factor
+    b = InstanceBuilder(f"tpcds_sf{sf}", family="tpcds", seed=200 + sf)
+    n_item = 18_000 * max(1, sf // 3 + 1)
+    n_customer = 100_000 * sf
+    n_address = 50_000 * sf
+    n_demo = 1_920_800  # fixed size in TPC-DS
+    n_date = 73_049     # fixed size in TPC-DS
+    n_store = max(12, 6 * sf)
+    n_promo = 300 + 10 * sf
+    n_warehouse = max(5, sf)
+    n_store_sales = 2_880_000 * sf
+    n_catalog_sales = 1_440_000 * sf
+    n_web_sales = 720_000 * sf
+    n_store_returns = 288_000 * sf
+
+    (b.table("date_dim", n_date)
+     .key("d_date_sk").int_col("d_year", 1900, 2100)
+     .int_col("d_moy", 1, 12).int_col("d_dom", 1, 31)
+     .category("d_day_name", 7).int_col("d_qoy", 1, 4).done())
+    (b.table("item", n_item)
+     .key("i_item_sk").category("i_category", 10).category("i_brand", 700, 0.4)
+     .category("i_class", 100).decimal_col("i_current_price", 1, 300)
+     .category("i_color", 92).text("i_product_name", n_item).done())
+    (b.table("customer", n_customer)
+     .key("c_customer_sk").fk("c_current_addr_sk", n_address)
+     .fk("c_current_cdemo_sk", n_demo)
+     .int_col("c_birth_year", 1924, 1992).text("c_last_name", 5000, 0.7).done())
+    (b.table("customer_address", n_address)
+     .key("ca_address_sk").category("ca_state", 51, 0.6)
+     .category("ca_city", 600, 0.8).category("ca_country", 1)
+     .int_col("ca_gmt_offset", -10, -5).done())
+    (b.table("customer_demographics", n_demo)
+     .key("cd_demo_sk").category("cd_gender", 2)
+     .category("cd_marital_status", 5).category("cd_education_status", 7)
+     .int_col("cd_dep_count", 0, 6).done())
+    (b.table("store", n_store)
+     .key("s_store_sk").category("s_state", 9).int_col("s_number_employees", 200, 300)
+     .decimal_col("s_tax_percentage", 0, 11).done())
+    (b.table("warehouse", n_warehouse)
+     .key("w_warehouse_sk").int_col("w_warehouse_sq_ft", 50000, 1000000).done())
+    (b.table("promotion", n_promo)
+     .key("p_promo_sk").category("p_channel_email", 2)
+     .category("p_channel_tv", 2).decimal_col("p_cost", 500, 2000).done())
+    (b.table("store_sales", n_store_sales)
+     .fk("ss_sold_date_sk", n_date).fk("ss_item_sk", n_item)
+     .fk("ss_customer_sk", n_customer).fk("ss_store_sk", n_store)
+     .fk("ss_promo_sk", n_promo)
+     .int_col("ss_quantity", 1, 100)
+     .decimal_col("ss_sales_price", 1, 200, skew=0.5)
+     .decimal_col("ss_ext_discount_amt", 0, 10000, skew=1.0)
+     .decimal_col("ss_net_profit", -10000, 20000).done())
+    (b.table("catalog_sales", n_catalog_sales)
+     .fk("cs_sold_date_sk", n_date).fk("cs_item_sk", n_item)
+     .fk("cs_bill_customer_sk", n_customer).fk("cs_warehouse_sk", n_warehouse)
+     .int_col("cs_quantity", 1, 100)
+     .decimal_col("cs_sales_price", 1, 300, skew=0.5)
+     .decimal_col("cs_net_profit", -10000, 20000).done())
+    (b.table("web_sales", n_web_sales)
+     .fk("ws_sold_date_sk", n_date).fk("ws_item_sk", n_item)
+     .fk("ws_bill_customer_sk", n_customer)
+     .int_col("ws_quantity", 1, 100)
+     .decimal_col("ws_sales_price", 1, 300, skew=0.5)
+     .decimal_col("ws_net_profit", -10000, 20000).done())
+    (b.table("store_returns", n_store_returns)
+     .fk("sr_returned_date_sk", n_date).fk("sr_item_sk", n_item)
+     .fk("sr_customer_sk", n_customer)
+     .int_col("sr_return_quantity", 1, 100)
+     .decimal_col("sr_return_amt", 1, 20000, skew=0.8).done())
+
+    for fact, prefix in (("store_sales", "ss"), ("catalog_sales", "cs"),
+                         ("web_sales", "ws")):
+        date_col = f"{prefix}_sold_date_sk"
+        b.edge(fact, date_col, "date_dim", "d_date_sk")
+        b.edge(fact, f"{prefix}_item_sk", "item", "i_item_sk")
+    b.edge("store_sales", "ss_customer_sk", "customer", "c_customer_sk")
+    b.edge("store_sales", "ss_store_sk", "store", "s_store_sk")
+    b.edge("store_sales", "ss_promo_sk", "promotion", "p_promo_sk")
+    b.edge("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk")
+    b.edge("catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk")
+    b.edge("web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk")
+    b.edge("store_returns", "sr_returned_date_sk", "date_dim", "d_date_sk")
+    b.edge("store_returns", "sr_item_sk", "item", "i_item_sk")
+    b.edge("store_returns", "sr_customer_sk", "customer", "c_customer_sk")
+    b.edge("customer", "c_current_addr_sk", "customer_address", "ca_address_sk")
+    b.edge("customer", "c_current_cdemo_sk", "customer_demographics",
+           "cd_demo_sk")
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# IMDB (Join Order Benchmark schema)
+# ---------------------------------------------------------------------------
+
+
+def _build_imdb() -> Instance:
+    b = InstanceBuilder("imdb", family="imdb", seed=300)
+    n_title = 2_528_312
+    n_name = 4_167_491
+    n_company = 234_997
+    n_keyword = 134_170
+    n_char = 3_140_339
+
+    (b.table("title", n_title)
+     .key("id").fk("kind_id", 7).int_col("production_year", 1880, 2019, skew=0.8)
+     .text("title", 1_500_000, 0.5).int_col("season_nr", 1, 90).done())
+    (b.table("kind_type", 7).key("id").text("kind", 7, 0.0).done())
+    (b.table("movie_companies", 2_609_129)
+     .fk("movie_id", n_title).fk("company_id", n_company)
+     .fk("company_type_id", 4).text("note", 130_000, 1.2).done())
+    (b.table("company_name", n_company)
+     .key("id").text("name", n_company).category("country_code", 230, 1.2).done())
+    (b.table("company_type", 4).key("id").text("kind", 4, 0.0).done())
+    (b.table("movie_info", 14_835_720)
+     .fk("movie_id", n_title).fk("info_type_id", 113)
+     .text("info", 2_700_000, 1.0).done())
+    (b.table("movie_info_idx", 1_380_035)
+     .fk("movie_id", n_title).fk("info_type_id", 113)
+     .text("info", 130_000, 0.8).done())
+    (b.table("info_type", 113).key("id").text("info", 113, 0.0).done())
+    (b.table("cast_info", 36_244_344)
+     .fk("movie_id", n_title).fk("person_id", n_name)
+     .fk("role_id", 12).fk("person_role_id", n_char)
+     .int_col("nr_order", 1, 1000, skew=1.1).done())
+    (b.table("name", n_name)
+     .key("id").text("name", n_name).category("gender", 3, 0.4).done())
+    (b.table("char_name", n_char).key("id").text("name", n_char).done())
+    (b.table("role_type", 12).key("id").text("role", 12, 0.0).done())
+    (b.table("movie_keyword", 4_523_930)
+     .fk("movie_id", n_title).fk("keyword_id", n_keyword).done())
+    (b.table("keyword", n_keyword).key("id").text("keyword", n_keyword).done())
+    (b.table("aka_title", 361_472)
+     .fk("movie_id", n_title).text("title", 340_000).done())
+
+    b.edge("title", "kind_id", "kind_type", "id")
+    b.edge("movie_companies", "movie_id", "title", "id", fanout=1.0)
+    b.edge("movie_companies", "company_id", "company_name", "id", fanout=1.3)
+    b.edge("movie_companies", "company_type_id", "company_type", "id")
+    b.edge("movie_info", "movie_id", "title", "id", fanout=5.9)
+    b.edge("movie_info", "info_type_id", "info_type", "id")
+    b.edge("movie_info_idx", "movie_id", "title", "id")
+    b.edge("movie_info_idx", "info_type_id", "info_type", "id")
+    b.edge("cast_info", "movie_id", "title", "id", fanout=14.3)
+    b.edge("cast_info", "person_id", "name", "id", fanout=8.7)
+    b.edge("cast_info", "role_id", "role_type", "id")
+    b.edge("cast_info", "person_role_id", "char_name", "id", fanout=2.0)
+    b.edge("movie_keyword", "movie_id", "title", "id", fanout=1.8)
+    b.edge("movie_keyword", "keyword_id", "keyword", "id", fanout=1.5)
+    b.edge("aka_title", "movie_id", "title", "id")
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Synthetic real-world-like instances
+# ---------------------------------------------------------------------------
+
+#: The 14 remaining corpus members (names follow the zero-shot corpus).
+_SYNTHETIC_NAMES = (
+    "airline", "ssb", "walmart", "financial", "basketball", "accidents",
+    "movielens", "baseball", "hepatitis", "tournament", "genome", "credit",
+    "employee", "carcinogenesis",
+)
+
+#: Rough size classes (max fact-table rows) per synthetic instance.
+_SYNTHETIC_SCALE = {
+    "airline": 8_000_000, "ssb": 6_000_000, "walmart": 4_000_000,
+    "financial": 1_100_000, "basketball": 300_000, "accidents": 1_500_000,
+    "movielens": 1_000_000, "baseball": 400_000, "hepatitis": 20_000,
+    "tournament": 150_000, "genome": 5_000_000, "credit": 900_000,
+    "employee": 500_000, "carcinogenesis": 50_000,
+}
+
+
+def _build_synthetic(name: str) -> Instance:
+    """Deterministically synthesize a plausible multi-table instance."""
+    rng = derive_rng(0xC0FFEE, "instance", name)
+    scale = _SYNTHETIC_SCALE[name]
+    b = InstanceBuilder(name, family=name, seed=derive_rng(1, name).integers(1 << 30))
+    n_dimensions = int(rng.integers(2, 6))
+    n_facts = int(rng.integers(1, 3))
+
+    dimension_rows: List[int] = []
+    for dim_index in range(n_dimensions):
+        rows = int(np.clip(rng.lognormal(np.log(scale) - 4.5, 1.5), 10,
+                           scale // 5))
+        dimension_rows.append(rows)
+        table = b.table(f"{name}_dim{dim_index}", rows).key("id")
+        for col_index in range(int(rng.integers(2, 6))):
+            kind = rng.random()
+            if kind < 0.35:
+                table.int_col(f"attr{col_index}", 0,
+                              int(rng.integers(10, 10_000)),
+                              skew=float(rng.choice([0.0, 0.0, 0.6, 1.1])))
+            elif kind < 0.6:
+                table.category(f"cat{col_index}", int(rng.integers(2, 200)),
+                               skew=float(rng.choice([0.0, 0.5, 1.0])))
+            elif kind < 0.8:
+                table.decimal_col(f"val{col_index}", 0,
+                                  int(rng.integers(100, 100_000)))
+            else:
+                table.text(f"txt{col_index}",
+                           max(2, rows // int(rng.integers(2, 20))))
+        table.done()
+
+    for fact_index in range(n_facts):
+        rows = int(scale / (fact_index + 1))
+        table = b.table(f"{name}_fact{fact_index}", rows).key("id")
+        linked = rng.choice(n_dimensions, size=min(n_dimensions,
+                                                   int(rng.integers(1, 5))),
+                            replace=False)
+        for dim_index in sorted(int(i) for i in linked):
+            table.fk(f"dim{dim_index}_id", dimension_rows[dim_index])
+        for col_index in range(int(rng.integers(2, 7))):
+            kind = rng.random()
+            if kind < 0.4:
+                table.decimal_col(f"measure{col_index}", 0,
+                                  int(rng.integers(100, 1_000_000)),
+                                  skew=float(rng.choice([0.0, 0.0, 0.8])))
+            elif kind < 0.7:
+                table.int_col(f"attr{col_index}", 0,
+                              int(rng.integers(5, 5_000)),
+                              skew=float(rng.choice([0.0, 0.7, 1.2])))
+            else:
+                table.date_col(f"date{col_index}")
+        table.done()
+        for dim_index in sorted(int(i) for i in linked):
+            fanout = float(rng.choice([1.0, 1.0, 1.0, 1.5, 3.0]))
+            b.edge(f"{name}_fact{fact_index}", f"dim{dim_index}_id",
+                   f"{name}_dim{dim_index}", "id", fanout=fanout)
+    if n_facts == 2:
+        b.edge(f"{name}_fact1", "id", f"{name}_fact0", "id")
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_BUILDERS: Dict[str, Callable[[], Instance]] = {
+    "tpch_sf1": lambda: _build_tpch(1),
+    "tpch_sf10": lambda: _build_tpch(10),
+    "tpch_sf100": lambda: _build_tpch(100),
+    "tpcds_sf1": lambda: _build_tpcds(1),
+    "tpcds_sf10": lambda: _build_tpcds(10),
+    "tpcds_sf100": lambda: _build_tpcds(100),
+    "imdb": _build_imdb,
+}
+for _name in _SYNTHETIC_NAMES:
+    _BUILDERS[_name] = (lambda n=_name: _build_synthetic(n))
+
+
+def all_instance_names() -> List[str]:
+    """Names of all 21 corpus instances."""
+    return list(_BUILDERS)
+
+
+def instance_families() -> List[str]:
+    """Distinct schema families (scale variants collapse into one)."""
+    seen: List[str] = []
+    for name in all_instance_names():
+        family = get_instance(name).family
+        if family not in seen:
+            seen.append(family)
+    return seen
+
+
+@lru_cache(maxsize=None)
+def get_instance(name: str) -> Instance:
+    """Build (and cache) one corpus instance by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise SchemaError(
+            f"unknown instance {name!r}; available: {all_instance_names()}"
+        ) from None
+    return builder()

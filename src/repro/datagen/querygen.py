@@ -1,0 +1,365 @@
+"""Random query generation over one database instance (Section 4.2).
+
+Queries are assembled from the paper's primitives — filter, join,
+aggregate, sort, project — according to a :class:`QueryStructure`.
+Generation is fully deterministic in ``(instance, seed, structure,
+index)`` so workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..rng import derive_rng
+from ..engine.catalog import Catalog
+from ..engine.expressions import (
+    Aggregate,
+    AggregateFunction,
+    BetweenPredicate,
+    ComparisonOp,
+    ComparisonPredicate,
+    InListPredicate,
+    LikePredicate,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+)
+from ..engine.logical import (
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalTopK,
+    LogicalWindow,
+)
+from ..engine.schema import DatabaseSchema, JoinEdge
+from ..engine.types import DataType
+from .instances import Instance
+from .structures import QueryStructure
+
+#: Selectivity range for generated filters (log-uniform).
+_MIN_SELECTIVITY = 0.002
+_MAX_SELECTIVITY = 0.95
+
+#: Group-by key columns must not exceed this many distinct values.
+_MAX_GROUP_DISTINCT = 50_000
+
+
+class RandomQueryGenerator:
+    """Generates random logical plans for one instance.
+
+    ``extended_operators`` additionally mixes semi/anti joins and
+    DISTINCT into the generated queries (off by default: the paper's
+    generator produces inner-join SPJA shapes; the fixed benchmark
+    suites already cover the remaining operators).
+    """
+
+    def __init__(self, instance: Instance, seed: int = 0,
+                 extended_operators: bool = False):
+        self.instance = instance
+        self.schema: DatabaseSchema = instance.schema
+        self.catalog: Catalog = instance.catalog
+        self.seed = seed
+        self.extended_operators = extended_operators
+
+    # -- public API ------------------------------------------------------
+
+    def generate(self, structure: QueryStructure, index: int) -> LogicalNode:
+        """Generate the ``index``-th query of a structure group."""
+        rng = derive_rng(self.seed, self.instance.name, structure.name, index)
+        for attempt in range(8):
+            try:
+                return self._generate_once(structure, rng)
+            except WorkloadError:
+                continue
+        raise WorkloadError(
+            f"could not generate a {structure.name} query for "
+            f"{self.instance.name}")
+
+    def generate_batch(self, structure: QueryStructure,
+                       count: int) -> List[LogicalNode]:
+        return [self.generate(structure, i) for i in range(count)]
+
+    # -- generation steps ---------------------------------------------------
+
+    def _generate_once(self, structure: QueryStructure,
+                       rng: np.random.Generator) -> LogicalNode:
+        n_joins = 0
+        if structure.joins[1] > 0:
+            n_joins = int(rng.integers(structure.joins[0],
+                                       structure.joins[1] + 1))
+        plan, tables = self._join_tree(rng, n_joins, structure.selection)
+        if structure.window:
+            plan = self._add_window(plan, tables, rng)
+        if structure.aggregation == "group":
+            plan = self._add_group_by(plan, tables, rng)
+        elif structure.aggregation == "simple":
+            plan = self._add_simple_aggregation(plan, tables, rng)
+        if structure.order == "sort":
+            plan = self._add_order(plan, tables, rng, top_k=False,
+                                   aggregated=structure.aggregation != "none")
+        elif structure.order == "topk":
+            plan = self._add_order(plan, tables, rng, top_k=True,
+                                   aggregated=structure.aggregation != "none")
+        if structure.aggregation == "none" and not structure.window:
+            plan = self._add_projection(plan, tables, rng)
+        return plan
+
+    def _join_tree(self, rng: np.random.Generator, n_joins: int,
+                   selection: str) -> Tuple[LogicalNode, List[str]]:
+        """Random connected join tree with per-table filters."""
+        start = self._pick_start_table(rng, n_joins)
+        tables = [start]
+        plan: LogicalNode = self._make_scan(start, selection, rng)
+        for _ in range(n_joins):
+            extension = self._pick_extension_edge(tables, rng)
+            if extension is None:
+                break
+            edge, new_table = extension
+            scan = self._make_scan(new_table, selection, rng,
+                                   filter_probability=0.6)
+            kind = "inner"
+            if self.extended_operators and rng.random() < 0.2:
+                # Semi/anti joins keep the *right* (tree) side, so the
+                # new scan becomes the filter set and the existing tree
+                # survives with its columns intact.
+                kind = "semi" if rng.random() < 0.7 else "anti"
+                plan = LogicalJoin(scan, plan, edge.reversed(), kind)
+                continue
+            plan = LogicalJoin(plan, scan, edge)
+            tables.append(new_table)
+        return plan, tables
+
+    def _pick_start_table(self, rng: np.random.Generator,
+                          n_joins: int) -> str:
+        names = self.schema.table_names
+        if n_joins > 0:
+            names = [n for n in names if self.schema.edges_for(n)]
+        if not names:
+            raise WorkloadError("no joinable tables in schema")
+        return str(rng.choice(names))
+
+    def _pick_extension_edge(
+            self, tables: List[str],
+            rng: np.random.Generator) -> Optional[Tuple[JoinEdge, str]]:
+        """An edge connecting the current tree to a fresh table."""
+        candidates: List[Tuple[JoinEdge, str]] = []
+        in_tree = set(tables)
+        for edge in self.schema.join_edges:
+            if edge.left_table in in_tree and edge.right_table not in in_tree:
+                candidates.append((edge, edge.right_table))
+            elif edge.right_table in in_tree and edge.left_table not in in_tree:
+                candidates.append((edge.reversed(), edge.left_table))
+        if not candidates:
+            return None
+        index = int(rng.integers(len(candidates)))
+        return candidates[index]
+
+    # -- scans and filters -----------------------------------------------------
+
+    def _make_scan(self, table: str, selection: str,
+                   rng: np.random.Generator,
+                   filter_probability: float = 1.0) -> LogicalScan:
+        predicates: List[Predicate] = []
+        correlation = 1.0
+        if selection != "none" and rng.random() < filter_probability:
+            n_predicates = int(rng.integers(1, 4))
+            for _ in range(n_predicates):
+                predicate = self._make_predicate(table, selection, rng)
+                if predicate is not None:
+                    predicates.append(predicate)
+            if len(predicates) >= 2:
+                correlation = float(np.exp(rng.normal(0.0, 0.35)))
+        return LogicalScan(table, predicates, correlation)
+
+    def _make_predicate(self, table: str, selection: str,
+                        rng: np.random.Generator) -> Optional[Predicate]:
+        complex_wanted = selection == "complex" and rng.random() < 0.7
+        if complex_wanted:
+            choice = rng.random()
+            if choice < 0.3:
+                return self._between_predicate(table, rng)
+            if choice < 0.55:
+                return self._in_predicate(table, rng)
+            if choice < 0.8:
+                return self._like_predicate(table, rng)
+            if choice < 0.9:
+                inner = self._comparison_predicate(table, rng)
+                other = self._comparison_predicate(table, rng)
+                if inner is not None and other is not None:
+                    return OrPredicate([inner, other])
+                return inner or other
+            inner = self._comparison_predicate(table, rng)
+            return NotPredicate(inner) if inner is not None else None
+        return self._comparison_predicate(table, rng)
+
+    def _target_selectivity(self, rng: np.random.Generator) -> float:
+        log_low, log_high = math.log(_MIN_SELECTIVITY), math.log(_MAX_SELECTIVITY)
+        return math.exp(rng.uniform(log_low, log_high))
+
+    def _numeric_columns(self, table: str) -> List[str]:
+        schema = self.schema.table(table)
+        return [c.name for c in schema.columns
+                if c.dtype.is_numeric and c.name != schema.primary_key]
+
+    def _string_columns(self, table: str) -> List[str]:
+        schema = self.schema.table(table)
+        return [c.name for c in schema.columns if c.dtype.is_string]
+
+    def _comparison_predicate(self, table: str,
+                              rng: np.random.Generator) -> Optional[Predicate]:
+        columns = self._numeric_columns(table)
+        if not columns:
+            return None
+        column = str(rng.choice(columns))
+        dist = self.catalog.column_stats(table, column).distribution
+        selectivity = self._target_selectivity(rng)
+        if rng.random() < 0.5:
+            value = dist.quantile(selectivity)
+            op = ComparisonOp.LE if rng.random() < 0.8 else ComparisonOp.LT
+        else:
+            value = dist.quantile(1.0 - selectivity)
+            op = ComparisonOp.GE if rng.random() < 0.8 else ComparisonOp.GT
+        if rng.random() < 0.1 and dist.n_distinct < 10_000:
+            op = ComparisonOp.EQ
+            value = dist.quantile(rng.random())
+        return ComparisonPredicate(table, column, op, float(value))
+
+    def _between_predicate(self, table: str,
+                           rng: np.random.Generator) -> Optional[Predicate]:
+        columns = self._numeric_columns(table)
+        if not columns:
+            return None
+        column = str(rng.choice(columns))
+        dist = self.catalog.column_stats(table, column).distribution
+        width = self._target_selectivity(rng)
+        start = rng.uniform(0.0, max(1e-9, 1.0 - width))
+        low = dist.quantile(start)
+        high = dist.quantile(min(1.0, start + width))
+        if high < low:
+            low, high = high, low
+        return BetweenPredicate(table, column, float(low), float(high))
+
+    def _in_predicate(self, table: str,
+                      rng: np.random.Generator) -> Optional[Predicate]:
+        columns = self._numeric_columns(table) + self._string_columns(table)
+        if not columns:
+            return None
+        column = str(rng.choice(columns))
+        dist = self.catalog.column_stats(table, column).distribution
+        n_values = int(rng.integers(2, 9))
+        values = {float(dist.quantile(rng.random())) for _ in range(n_values)}
+        return InListPredicate(table, column, sorted(values))
+
+    def _like_predicate(self, table: str,
+                        rng: np.random.Generator) -> Optional[Predicate]:
+        columns = self._string_columns(table)
+        if not columns:
+            return self._comparison_predicate(table, rng)
+        column = str(rng.choice(columns))
+        dist = self.catalog.column_stats(table, column).distribution
+        fraction = self._target_selectivity(rng)
+        n_match = max(1, int(round(dist.n_distinct * fraction)))
+        n_match = min(n_match, dist.n_distinct, 50_000)
+        codes = rng.choice(dist.n_distinct, size=n_match, replace=False)
+        return LikePredicate(table, column, pattern=f"%p{int(codes[0])}%",
+                             matching_codes=[int(c) for c in codes])
+
+    # -- aggregation / window / order / projection ------------------------------
+
+    def _group_columns(self, tables: Sequence[str],
+                       rng: np.random.Generator) -> List[Tuple[str, str]]:
+        candidates: List[Tuple[str, str]] = []
+        for table in tables:
+            for column in self.schema.table(table).columns:
+                stats = self.catalog.column_stats(table, column.name)
+                if stats.true_distinct <= _MAX_GROUP_DISTINCT:
+                    candidates.append((table, column.name))
+        if not candidates:
+            raise WorkloadError("no group-by candidate columns")
+        n_keys = min(len(candidates), int(rng.integers(1, 3)))
+        picked = rng.choice(len(candidates), size=n_keys, replace=False)
+        return [candidates[int(i)] for i in picked]
+
+    def _make_aggregates(self, tables: Sequence[str],
+                         rng: np.random.Generator) -> List[Aggregate]:
+        numeric: List[str] = []
+        for table in tables:
+            numeric.extend(f"{table}.{c}" for c in self._numeric_columns(table))
+        aggregates: List[Aggregate] = [Aggregate(AggregateFunction.COUNT)]
+        functions = [AggregateFunction.SUM, AggregateFunction.MIN,
+                     AggregateFunction.MAX, AggregateFunction.AVG]
+        if numeric:
+            extra = int(rng.integers(1, 4))
+            for _ in range(extra):
+                function = functions[int(rng.integers(len(functions)))]
+                column = str(rng.choice(numeric))
+                aggregates.append(Aggregate(function, column))
+        return aggregates
+
+    def _add_group_by(self, plan: LogicalNode, tables: Sequence[str],
+                      rng: np.random.Generator) -> LogicalNode:
+        return LogicalGroupBy(plan, self._group_columns(tables, rng),
+                              self._make_aggregates(tables, rng))
+
+    def _add_simple_aggregation(self, plan: LogicalNode,
+                                tables: Sequence[str],
+                                rng: np.random.Generator) -> LogicalNode:
+        return LogicalGroupBy(plan, [], self._make_aggregates(tables, rng))
+
+    def _add_window(self, plan: LogicalNode, tables: Sequence[str],
+                    rng: np.random.Generator) -> LogicalNode:
+        try:
+            partitions = self._group_columns(tables, rng)[:1]
+        except WorkloadError:
+            partitions = []
+        order_candidates: List[Tuple[str, str]] = []
+        for table in tables:
+            order_candidates.extend(
+                (table, c) for c in self._numeric_columns(table))
+        if not order_candidates:
+            raise WorkloadError("no window ordering column")
+        order = [order_candidates[int(rng.integers(len(order_candidates)))]]
+        return LogicalWindow(plan, partitions, order, function="rank")
+
+    def _add_order(self, plan: LogicalNode, tables: Sequence[str],
+                   rng: np.random.Generator, top_k: bool,
+                   aggregated: bool) -> LogicalNode:
+        if aggregated:
+            keys: List[Tuple[str, str]] = [("#computed", "agg_0")]
+        else:
+            candidates: List[Tuple[str, str]] = []
+            for table in tables:
+                candidates.extend(
+                    (table, c.name) for c in self.schema.table(table).columns)
+            if not candidates:
+                raise WorkloadError("no sort key available")
+            keys = [candidates[int(rng.integers(len(candidates)))]]
+        if top_k:
+            k = int(rng.choice([10, 100, 1000]))
+            return LogicalTopK(plan, keys, k)
+        return LogicalSort(plan, keys)
+
+    def _add_projection(self, plan: LogicalNode, tables: Sequence[str],
+                        rng: np.random.Generator) -> LogicalNode:
+        candidates: List[Tuple[str, str]] = []
+        for table in tables:
+            candidates.extend(
+                (table, c.name) for c in self.schema.table(table).columns)
+        n_columns = max(1, min(len(candidates), int(rng.integers(1, 7))))
+        picked = rng.choice(len(candidates), size=n_columns, replace=False)
+        columns = [candidates[int(i)] for i in picked]
+        if self.extended_operators and rng.random() < 0.25:
+            from ..engine.logical import LogicalDistinct
+            lowcard = [(t, c) for t, c in columns
+                       if self.catalog.column_stats(t, c).true_distinct
+                       <= _MAX_GROUP_DISTINCT]
+            if lowcard:
+                return LogicalDistinct(plan, lowcard[:2])
+        return LogicalProject(plan, columns)

@@ -1,0 +1,83 @@
+"""The 16 modular query structures (Section 4.2, Figure 8).
+
+Queries are built from five primitives — filter, join, aggregate, sort,
+project — combined into explicitly structured groups, from
+single-table selections ("Se") up to the group combining all primitives.
+Group labels follow Figure 8 of the paper: Se(lections),
+C(omplex)Se(lections), J(oins), A(ggregations), Si(mple)A(ggregations),
+W(indow functions), and their combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class QueryStructure:
+    """Declarative shape of one generated-query group."""
+
+    name: str
+    label: str
+    joins: Tuple[int, int] = (0, 0)          # min/max join count
+    selection: str = "none"                   # none | simple | complex
+    aggregation: str = "none"                 # none | group | simple
+    window: bool = False
+    order: str = "none"                       # none | sort | topk
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        assert self.selection in ("none", "simple", "complex")
+        assert self.aggregation in ("none", "group", "simple")
+        assert self.order in ("none", "sort", "topk")
+
+
+#: All 16 generated query structures (the paper: "for each of the 16
+#: query structures, we generate 40 queries per database").
+QUERY_STRUCTURES: List[QueryStructure] = [
+    QueryStructure("Se", "Se", selection="simple",
+                   description="single-table scans with numeric filters"),
+    QueryStructure("CSe", "CSe", selection="complex",
+                   description="single-table scans with LIKE/IN/BETWEEN/OR"),
+    QueryStructure("A", "A", aggregation="group",
+                   description="single-table group-by aggregation"),
+    QueryStructure("SiA", "SiA", aggregation="simple",
+                   description="single-table aggregation to one row"),
+    QueryStructure("W", "W", selection="simple", window=True,
+                   description="window function over a filtered table"),
+    QueryStructure("J", "J", joins=(1, 4),
+                   description="pure join queries"),
+    QueryStructure("SeJ", "SeJ", joins=(1, 4), selection="simple",
+                   description="filters plus joins"),
+    QueryStructure("CSeJ", "CSeJ", joins=(1, 4), selection="complex",
+                   description="complex filters plus joins"),
+    QueryStructure("SeA", "SeA", selection="simple", aggregation="group",
+                   description="filters plus group-by"),
+    QueryStructure("SeSiA", "SeSiA", selection="simple", aggregation="simple",
+                   description="filters plus simple aggregation"),
+    QueryStructure("JA", "JA", joins=(1, 4), aggregation="group",
+                   description="joins plus group-by"),
+    QueryStructure("SeJA", "SeJA", joins=(1, 4), selection="simple",
+                   aggregation="group",
+                   description="filters, joins, and group-by"),
+    QueryStructure("SeJSiA", "SeJSiA", joins=(1, 5), selection="simple",
+                   aggregation="simple",
+                   description="filters, joins, aggregation to one row"),
+    QueryStructure("CSeJA", "CSeJA", joins=(1, 4), selection="complex",
+                   aggregation="group",
+                   description="complex filters, joins, group-by"),
+    QueryStructure("CSeJSiA", "CSeJSiA", joins=(1, 5), selection="complex",
+                   aggregation="simple",
+                   description="complex filters, joins, simple aggregation"),
+    QueryStructure("All", "SeJASo", joins=(1, 4), selection="simple",
+                   aggregation="group", order="topk",
+                   description="all primitives: filter, join, group, sort"),
+]
+
+
+def structure_by_name(name: str) -> QueryStructure:
+    for structure in QUERY_STRUCTURES:
+        if structure.name == name:
+            return structure
+    raise KeyError(f"unknown query structure {name!r}")

@@ -1,0 +1,60 @@
+"""Umbra-equivalent relational query engine substrate.
+
+T3 predicts execution times of Umbra [36], a compiling push-based
+relational database system. Umbra is not available, so this package
+provides the substrate T3 needs:
+
+* a typed schema/catalog layer with table and column statistics
+  (:mod:`repro.engine.schema`, :mod:`repro.engine.catalog`),
+* scalar expressions with true and estimated selectivities
+  (:mod:`repro.engine.expressions`),
+* logical plans and a rule-based optimizer producing physical plans
+  (:mod:`repro.engine.logical`, :mod:`repro.engine.optimizer`),
+* 19 physical operators with Umbra-style operator *stages*
+  (:mod:`repro.engine.physical`, :mod:`repro.engine.stages`),
+* pipeline decomposition of physical plans — the plan representation T3
+  is built on (:mod:`repro.engine.pipelines`),
+* exact / estimated / artificially-distorted cardinality models
+  (:mod:`repro.engine.cardinality`),
+* a vectorized in-memory executor that actually runs plans on numpy
+  tables (:mod:`repro.engine.executor`), and
+* an analytic cost simulator calibrated against the executor that
+  produces ground-truth running times at any scale
+  (:mod:`repro.engine.simulator`).
+"""
+
+from .types import DataType
+from .schema import Column, TableSchema, DatabaseSchema
+from .catalog import ColumnStats, TableStats, Catalog
+from .stages import Stage
+from .pipelines import Pipeline, StageRef, decompose_into_pipelines
+from .cardinality import (
+    CardinalityModel,
+    ExactCardinalityModel,
+    EstimatedCardinalityModel,
+    DistortedCardinalityModel,
+)
+from .simulator import ExecutionSimulator, SimulatorConfig
+from .optimizer import Optimizer, OptimizerConfig
+
+__all__ = [
+    "DataType",
+    "Column",
+    "TableSchema",
+    "DatabaseSchema",
+    "ColumnStats",
+    "TableStats",
+    "Catalog",
+    "Stage",
+    "Pipeline",
+    "StageRef",
+    "decompose_into_pipelines",
+    "CardinalityModel",
+    "ExactCardinalityModel",
+    "EstimatedCardinalityModel",
+    "DistortedCardinalityModel",
+    "ExecutionSimulator",
+    "SimulatorConfig",
+    "Optimizer",
+    "OptimizerConfig",
+]

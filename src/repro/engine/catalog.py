@@ -1,0 +1,122 @@
+"""Catalog: per-instance statistics, true and as seen by the optimizer.
+
+The catalog holds, per column, the generative :class:`Distribution`
+(the truth, used by the exact cardinality model and the data generator)
+*and* the coarse statistics an optimizer would have collected
+(min / max / approximate distinct count). Estimated distinct counts are
+the true counts multiplied by a deterministic per-column lognormal error
+factor, mimicking sampling-based ANALYZE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..rng import derive_rng
+from .distributions import Distribution
+from .schema import DatabaseSchema, qualified
+
+
+@dataclass
+class ColumnStats:
+    """Statistics of one column.
+
+    ``distribution`` is the generative truth. ``estimated_distinct`` is
+    what the optimizer believes (true distinct count perturbed by a
+    sampling-style error factor).
+    """
+
+    distribution: Distribution
+    estimated_distinct: float
+
+    @property
+    def min_value(self) -> float:
+        return self.distribution.min_value
+
+    @property
+    def max_value(self) -> float:
+        return self.distribution.max_value
+
+    @property
+    def true_distinct(self) -> int:
+        return self.distribution.n_distinct
+
+
+@dataclass
+class TableStats:
+    """Statistics of one table. Row counts are exact (real systems know them)."""
+
+    row_count: int
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise SchemaError("row_count must be non-negative")
+
+
+class Catalog:
+    """Statistics container for one database instance."""
+
+    #: Lognormal sigma of the distinct-count estimation error.
+    DISTINCT_ERROR_SIGMA = 0.25
+
+    def __init__(self, schema: DatabaseSchema, seed: int = 0):
+        self.schema = schema
+        self.seed = seed
+        self._tables: Dict[str, TableStats] = {}
+        self._columns: Dict[str, ColumnStats] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def set_table_stats(self, table: str, row_count: int) -> None:
+        self.schema.table(table)  # validates existence
+        self._tables[table] = TableStats(row_count)
+
+    def set_column_distribution(self, table: str, column: str,
+                                distribution: Distribution) -> None:
+        self.schema.table(table).column(column)  # validates existence
+        error_rng = derive_rng(self.seed, "distinct-error", table, column)
+        factor = float(np.exp(error_rng.normal(0.0, self.DISTINCT_ERROR_SIGMA)))
+        estimated = max(1.0, distribution.n_distinct * factor)
+        self._columns[qualified(table, column)] = ColumnStats(
+            distribution=distribution, estimated_distinct=estimated)
+
+    # -- lookup ----------------------------------------------------------
+
+    def table_stats(self, table: str) -> TableStats:
+        try:
+            return self._tables[table]
+        except KeyError:
+            raise SchemaError(f"no statistics for table {table!r}") from None
+
+    def row_count(self, table: str) -> int:
+        return self.table_stats(table).row_count
+
+    def column_stats(self, table: str, column: str) -> ColumnStats:
+        try:
+            return self._columns[qualified(table, column)]
+        except KeyError:
+            raise SchemaError(
+                f"no statistics for column {table}.{column}") from None
+
+    def has_column_stats(self, table: str, column: str) -> bool:
+        return qualified(table, column) in self._columns
+
+    def tables_with_stats(self) -> Iterable[str]:
+        return self._tables.keys()
+
+    def validate_complete(self) -> None:
+        """Raise if any table or column lacks statistics."""
+        for name, table in self.schema.tables.items():
+            if name not in self._tables:
+                raise SchemaError(f"missing table stats for {name!r}")
+            for column in table.columns:
+                if qualified(name, column.name) not in self._columns:
+                    raise SchemaError(
+                        f"missing column stats for {name}.{column.name}")
+
+    def total_rows(self) -> int:
+        return sum(stats.row_count for stats in self._tables.values())

@@ -1,0 +1,460 @@
+"""Vectorized in-memory query executor.
+
+This is the part of the substrate that *actually runs* queries: physical
+plans are executed pipeline by pipeline over numpy column arrays, with
+wall-clock timing per pipeline. It serves three purposes:
+
+* the runnable examples operate on real data,
+* integration tests validate the exact cardinality model and the
+  analytic simulator against observed behaviour, and
+* simulator cost constants were calibrated against its measurements.
+
+The executor processes each pipeline as one vectorized batch — morsel
+scheduling and parallelism are out of scope (the paper's model also
+predicts single-query, non-concurrent execution).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+from .expressions import Aggregate, AggregateFunction, Predicate
+from .physical import (
+    PAssertSingle,
+    PCrossProduct,
+    PDistinct,
+    PFilter,
+    PGroupBy,
+    PhysicalOperator,
+    PhysicalPlan,
+    PIndexNLJoin,
+    PLimit,
+    PMap,
+    PSimpleAgg,
+    PSort,
+    PTableScan,
+    PTopK,
+    PUnion,
+    PWindow,
+    _JoinBase,
+)
+from .pipelines import Pipeline, decompose_into_pipelines
+from .schema import qualified
+from .stages import OperatorType, Stage
+
+#: A batch is a mapping from qualified column names to equal-length arrays.
+Batch = Dict[str, np.ndarray]
+
+
+def batch_rows(batch: Batch) -> int:
+    if not batch:
+        return 0
+    return len(next(iter(batch.values())))
+
+
+def _table_view(batch: Batch, table: str) -> Dict[str, np.ndarray]:
+    """Unqualified view of one table's columns inside a batch."""
+    prefix = table + "."
+    return {name[len(prefix):]: data for name, data in batch.items()
+            if name.startswith(prefix)}
+
+
+def _take(batch: Batch, indices: np.ndarray) -> Batch:
+    return {name: data[indices] for name, data in batch.items()}
+
+
+def _mask(batch: Batch, mask: np.ndarray) -> Batch:
+    return {name: data[mask] for name, data in batch.items()}
+
+
+class TableStore:
+    """Concrete data of one database instance: table → column → array."""
+
+    def __init__(self):
+        self._tables: Dict[str, Dict[str, np.ndarray]] = {}
+
+    def put_table(self, table: str, columns: Dict[str, np.ndarray]) -> None:
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise PlanError(f"ragged columns for table {table!r}")
+        self._tables[table] = dict(columns)
+
+    def columns(self, table: str) -> Dict[str, np.ndarray]:
+        try:
+            return self._tables[table]
+        except KeyError:
+            raise PlanError(f"no data loaded for table {table!r}") from None
+
+    def row_count(self, table: str) -> int:
+        columns = self.columns(table)
+        if not columns:
+            return 0
+        return len(next(iter(columns.values())))
+
+    def has_table(self, table: str) -> bool:
+        return table in self._tables
+
+    @property
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one plan on real data."""
+
+    plan: PhysicalPlan
+    result: Batch
+    pipeline_times: List[float]
+    total_time: float
+    #: Observed output rows per operator node id ("explain analyze").
+    observed_cardinalities: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_result_rows(self) -> int:
+        return batch_rows(self.result)
+
+
+class VectorizedExecutor:
+    """Executes physical plans pipeline-by-pipeline over a TableStore."""
+
+    #: Refuse join/cross products whose output would exceed this many rows.
+    max_intermediate_rows = 200_000_000
+
+    def __init__(self, store: TableStore):
+        self.store = store
+
+    def execute(self, plan: PhysicalPlan) -> ExecutionResult:
+        pipelines = decompose_into_pipelines(plan)
+        state: Dict[int, object] = {}
+        observed: Dict[int, int] = {}
+        pipeline_times: List[float] = []
+        final_batch: Batch = {}
+
+        start_total = time.perf_counter()
+        for pipeline in pipelines:
+            start = time.perf_counter()
+            final_batch = self._run_pipeline(pipeline, state, observed)
+            pipeline_times.append(time.perf_counter() - start)
+        total = time.perf_counter() - start_total
+        return ExecutionResult(plan, final_batch, pipeline_times, total,
+                               observed)
+
+    # -- pipeline execution ------------------------------------------------
+
+    def _run_pipeline(self, pipeline: Pipeline, state: Dict[int, object],
+                      observed: Dict[int, int]) -> Batch:
+        batch: Batch = {}
+        for ref in pipeline.stages:
+            op, stage = ref.operator, ref.stage
+            if stage is Stage.SCAN:
+                batch = self._scan(op, state)
+            elif stage is Stage.PASS_THROUGH:
+                batch = self._pass_through(op, batch)
+            elif stage is Stage.PROBE:
+                batch = self._probe(op, batch, state)
+            elif stage is Stage.BUILD:
+                self._build(op, batch, state)
+                observed[op.node_id] = self._built_rows(op, state)
+                batch = {}
+                continue
+            observed[op.node_id] = batch_rows(batch)
+        return batch
+
+    # -- scans -----------------------------------------------------------
+
+    def _scan(self, op: PhysicalOperator, state: Dict[int, object]) -> Batch:
+        if isinstance(op, PTableScan):
+            columns = self.store.columns(op.table)
+            batch: Batch = {}
+            for table, column in op.output_columns:
+                batch[qualified(table, column)] = columns[column]
+            # Predicates may reference columns pruned from the output.
+            view = {qualified(op.table, c): data
+                    for c, data in columns.items()}
+            keep: Optional[np.ndarray] = None
+            for predicate in op.predicates:
+                mask = self._evaluate_predicate(predicate, view)
+                keep = mask if keep is None else keep & mask
+            if keep is not None:
+                batch = _mask(batch, keep)
+            return batch
+        # Scan of materialized state.
+        stored = state.get(op.node_id)
+        if stored is None:
+            raise PlanError(f"state of {op.op_type} not built yet")
+        if isinstance(stored, list):  # union buffers
+            return _concat_batches(stored)
+        if not isinstance(stored, dict):
+            raise PlanError(f"unexpected state for {op.op_type}")
+        return dict(stored)
+
+    def _evaluate_predicate(self, predicate: Predicate,
+                            qualified_view: Batch) -> np.ndarray:
+        table_columns = {name.split(".", 1)[1]: data
+                         for name, data in qualified_view.items()
+                         if name.startswith(predicate.table + ".")}
+        return predicate.evaluate(table_columns)
+
+    # -- pass-through stages --------------------------------------------------
+
+    def _pass_through(self, op: PhysicalOperator, batch: Batch) -> Batch:
+        if isinstance(op, PFilter):
+            keep: Optional[np.ndarray] = None
+            for predicate in op.predicates:
+                view = _table_view(batch, predicate.table)
+                mask = predicate.evaluate(view)
+                keep = mask if keep is None else keep & mask
+            return _mask(batch, keep) if keep is not None else batch
+        if isinstance(op, PMap):
+            result = dict(batch)
+            for computed in op.computed:
+                view = {name: batch[name] for name in computed.input_columns}
+                result[qualified("#computed", computed.name)] = (
+                    computed.evaluate(view))
+            return result
+        if isinstance(op, PLimit):
+            k = op.k
+            return {name: data[:k] for name, data in batch.items()}
+        if isinstance(op, PAssertSingle):
+            if batch_rows(batch) > 1:
+                raise PlanError("AssertSingle saw more than one row")
+            return batch
+        if isinstance(op, PIndexNLJoin):
+            return self._index_join(op, batch)
+        raise PlanError(f"cannot execute pass-through {op.op_type}")
+
+    def _index_join(self, op: PIndexNLJoin, batch: Batch) -> Batch:
+        inner_columns = self.store.columns(op.inner_table)
+        inner_key = inner_columns[op.inner_column[1]]
+        outer_key = batch[qualified(*op.outer_column)]
+        order = np.argsort(inner_key, kind="stable")
+        sorted_keys = inner_key[order]
+        outer_idx, inner_idx = _join_indices(sorted_keys, order, outer_key)
+        result = _take(batch, outer_idx)
+        for table, column in op.output_columns:
+            name = qualified(table, column)
+            if name in result:
+                continue
+            if table == op.inner_table:
+                result[name] = inner_columns[column][inner_idx]
+        return result
+
+    # -- probes --------------------------------------------------------------
+
+    def _probe(self, op: PhysicalOperator, batch: Batch,
+               state: Dict[int, object]) -> Batch:
+        stored = state.get(op.node_id)
+        if stored is None:
+            raise PlanError(f"probe of {op.op_type} before build")
+        if isinstance(op, PCrossProduct):
+            build_batch: Batch = stored  # type: ignore[assignment]
+            n_build = batch_rows(build_batch)
+            n_probe = batch_rows(batch)
+            if n_build * n_probe > self.max_intermediate_rows:
+                raise PlanError("cross product too large to execute")
+            result = {name: np.tile(data, n_probe)
+                      for name, data in build_batch.items()}
+            result.update({name: np.repeat(data, n_build)
+                           for name, data in batch.items()})
+            return result
+        if isinstance(op, _JoinBase):
+            sorted_keys, order, build_batch = stored  # type: ignore[misc]
+            probe_key = batch[qualified(*op.probe_column)]
+            if op.op_type is OperatorType.SEMI_JOIN:
+                mask = _membership(sorted_keys, probe_key)
+                return _mask(batch, mask)
+            if op.op_type is OperatorType.ANTI_JOIN:
+                mask = _membership(sorted_keys, probe_key)
+                return _mask(batch, ~mask)
+            probe_idx, build_idx = _join_indices(sorted_keys, order, probe_key)
+            if len(probe_idx) > self.max_intermediate_rows:
+                raise PlanError("join result too large to execute")
+            result = _take(batch, probe_idx)
+            for name, data in build_batch.items():
+                if name not in result:
+                    result[name] = data[build_idx]
+            return result
+        raise PlanError(f"cannot probe {op.op_type}")
+
+    # -- builds ----------------------------------------------------------------
+
+    def _build(self, op: PhysicalOperator, batch: Batch,
+               state: Dict[int, object]) -> None:
+        if isinstance(op, _JoinBase):
+            key = batch[qualified(*op.build_column)]
+            order = np.argsort(key, kind="stable")
+            state[op.node_id] = (key[order], order, batch)
+            return
+        if isinstance(op, PCrossProduct):
+            state[op.node_id] = batch
+            return
+        if isinstance(op, PGroupBy):
+            state[op.node_id] = _group_by(batch, op.group_columns,
+                                          op.aggregates)
+            return
+        if isinstance(op, PSimpleAgg):
+            n = batch_rows(batch)
+            result: Batch = {}
+            for i, aggregate in enumerate(op.aggregates):
+                view = {aggregate.column: batch[aggregate.column]} \
+                    if aggregate.column else {}
+                value = aggregate.evaluate(view, n)
+                result[qualified("#computed", f"agg_{i}")] = np.array([value])
+            state[op.node_id] = result
+            return
+        if isinstance(op, PSort):
+            keys = [batch[qualified(t, c)] for t, c in op.keys]
+            order = np.lexsort(keys[::-1]) if keys else np.arange(batch_rows(batch))
+            state[op.node_id] = _take(batch, order)
+            return
+        if isinstance(op, PTopK):
+            keys = [batch[qualified(t, c)] for t, c in op.keys]
+            order = np.lexsort(keys[::-1]) if keys else np.arange(batch_rows(batch))
+            state[op.node_id] = _take(batch, order[:op.k])
+            return
+        if isinstance(op, PWindow):
+            state[op.node_id] = _window_rank(batch, op)
+            return
+        if isinstance(op, PDistinct):
+            state[op.node_id] = _distinct(batch, op.columns)
+            return
+        if op.op_type is OperatorType.UNION:
+            buffers = state.setdefault(op.node_id, [])
+            buffers.append(batch)  # type: ignore[union-attr]
+            return
+        if op.op_type is OperatorType.MATERIALIZE:
+            state[op.node_id] = dict(batch)
+            return
+        raise PlanError(f"cannot build {op.op_type}")
+
+    def _built_rows(self, op: PhysicalOperator, state: Dict[int, object]) -> int:
+        stored = state.get(op.node_id)
+        if isinstance(stored, tuple):
+            return len(stored[0])
+        if isinstance(stored, list):
+            return sum(batch_rows(b) for b in stored)
+        if isinstance(stored, dict):
+            return batch_rows(stored)
+        return 0
+
+
+# -- join / grouping kernels ----------------------------------------------
+
+
+def _join_indices(sorted_keys: np.ndarray, order: np.ndarray,
+                  probe_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Matching (probe_row, build_row) index pairs via binary search."""
+    lo = np.searchsorted(sorted_keys, probe_keys, side="left")
+    hi = np.searchsorted(sorted_keys, probe_keys, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    probe_idx = np.repeat(np.arange(len(probe_keys)), counts)
+    if total == 0:
+        return probe_idx, np.empty(0, dtype=np.int64)
+    starts = np.repeat(lo, counts)
+    group_offsets = np.arange(total) - np.repeat(
+        np.cumsum(counts) - counts, counts)
+    build_idx = order[starts + group_offsets]
+    return probe_idx, build_idx
+
+
+def _membership(sorted_keys: np.ndarray, probe_keys: np.ndarray) -> np.ndarray:
+    lo = np.searchsorted(sorted_keys, probe_keys, side="left")
+    hi = np.searchsorted(sorted_keys, probe_keys, side="right")
+    return hi > lo
+
+
+def _group_by(batch: Batch, group_columns: Sequence[Tuple[str, str]],
+              aggregates: Sequence[Aggregate]) -> Batch:
+    n = batch_rows(batch)
+    keys = [batch[qualified(t, c)] for t, c in group_columns]
+    if n == 0:
+        result = {qualified(t, c): np.empty(0, dtype=np.int64)
+                  for t, c in group_columns}
+        for i in range(len(aggregates)):
+            result[qualified("#computed", f"agg_{i}")] = np.empty(0)
+        return result
+    order = np.lexsort(keys[::-1])
+    sorted_keys = [k[order] for k in keys]
+    boundary = np.zeros(n, dtype=bool)
+    boundary[0] = True
+    for key in sorted_keys:
+        boundary[1:] |= key[1:] != key[:-1]
+    starts = np.nonzero(boundary)[0]
+    result: Batch = {}
+    for (table, column), key in zip(group_columns, sorted_keys):
+        result[qualified(table, column)] = key[starts]
+    counts = np.diff(np.append(starts, n)).astype(np.float64)
+    for i, aggregate in enumerate(aggregates):
+        name = qualified("#computed", f"agg_{i}")
+        if aggregate.function is AggregateFunction.COUNT:
+            result[name] = counts
+            continue
+        data = batch[aggregate.column][order].astype(np.float64)
+        if aggregate.function is AggregateFunction.SUM:
+            result[name] = np.add.reduceat(data, starts)
+        elif aggregate.function is AggregateFunction.MIN:
+            result[name] = np.minimum.reduceat(data, starts)
+        elif aggregate.function is AggregateFunction.MAX:
+            result[name] = np.maximum.reduceat(data, starts)
+        else:  # AVG
+            result[name] = np.add.reduceat(data, starts) / counts
+    return result
+
+
+def _distinct(batch: Batch, columns: Sequence[Tuple[str, str]]) -> Batch:
+    n = batch_rows(batch)
+    if n == 0:
+        return dict(batch)
+    keys = [batch[qualified(t, c)] for t, c in columns]
+    order = np.lexsort(keys[::-1])
+    boundary = np.zeros(n, dtype=bool)
+    boundary[0] = True
+    for key in (k[order] for k in keys):
+        boundary[1:] |= key[1:] != key[:-1]
+    return _take(batch, order[boundary])
+
+
+def _window_rank(batch: Batch, op: PWindow) -> Batch:
+    n = batch_rows(batch)
+    partition = [batch[qualified(t, c)] for t, c in op.partition_columns]
+    ordering = [batch[qualified(t, c)] for t, c in op.order_columns]
+    keys = (ordering + partition)  # lexsort: last key is primary
+    if n == 0:
+        result = dict(batch)
+        result[qualified("#computed", op.function)] = np.empty(0, np.int64)
+        return result
+    order = np.lexsort(keys) if keys else np.arange(n)
+    boundary = np.zeros(n, dtype=bool)
+    boundary[0] = True
+    for key in (k[order] for k in partition):
+        boundary[1:] |= key[1:] != key[:-1]
+    segment_id = np.cumsum(boundary) - 1
+    starts = np.nonzero(boundary)[0]
+    rank = np.arange(n) - starts[segment_id] + 1
+    result = _take(batch, order)
+    result[qualified("#computed", op.function)] = rank
+    return result
+
+
+def _concat_batches(batches: List[Batch]) -> Batch:
+    if not batches:
+        return {}
+    names = list(batches[0])
+    result: Batch = {}
+    for position, name in enumerate(names):
+        parts = []
+        for batch in batches:
+            if name in batch:
+                parts.append(batch[name])
+            else:  # positional alignment for union of different schemas
+                other = list(batch.values())
+                parts.append(other[position])
+        result[name] = np.concatenate(parts)
+    return result

@@ -1,0 +1,90 @@
+"""Human-readable rendering of physical plans and pipelines.
+
+``explain`` mirrors a database's EXPLAIN output; ``explain_pipelines``
+shows the pipeline decomposition with tuple flows — the view T3's
+features are computed from (compare Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .cardinality import CardinalityModel, ExactCardinalityModel
+from .physical import (
+    PFilter,
+    PGroupBy,
+    PhysicalOperator,
+    PhysicalPlan,
+    PIndexNLJoin,
+    PSort,
+    PTableScan,
+    PTopK,
+    _JoinBase,
+)
+from .pipelines import compute_stage_flows, decompose_into_pipelines
+
+
+def _describe(op: PhysicalOperator) -> str:
+    name = op.op_type.value
+    if isinstance(op, PTableScan):
+        detail = op.table
+        if op.predicates:
+            detail += f" [{len(op.predicates)} predicates]"
+        return f"{name}({detail})"
+    if isinstance(op, _JoinBase):
+        build_table, build_column = op.build_column
+        probe_table, probe_column = op.probe_column
+        return (f"{name}({build_table}.{build_column} = "
+                f"{probe_table}.{probe_column})")
+    if isinstance(op, PIndexNLJoin):
+        return f"{name}(index on {op.inner_table}.{op.inner_column[1]})"
+    if isinstance(op, PGroupBy):
+        keys = ", ".join(f"{t}.{c}" for t, c in op.group_columns)
+        return f"{name}({keys}; {len(op.aggregates)} aggregates)"
+    if isinstance(op, PSort):
+        return f"{name}({', '.join(f'{t}.{c}' for t, c in op.keys)})"
+    if isinstance(op, PTopK):
+        return f"{name}(k={op.k})"
+    if isinstance(op, PFilter):
+        return f"{name}([{len(op.predicates)} predicates])"
+    return name
+
+
+def explain(plan: PhysicalPlan,
+            model: Optional[CardinalityModel] = None) -> str:
+    """Indented operator tree with output cardinalities."""
+    lines: List[str] = [f"Plan for {plan.query_name or '<query>'} "
+                        f"on {plan.database}"]
+
+    def visit(op: PhysicalOperator, depth: int) -> None:
+        card = f"  card={model.output_cardinality(op):,.0f}" if model else ""
+        lines.append("  " * depth + f"- {_describe(op)}{card}")
+        for child in op.children:
+            visit(child, depth + 1)
+
+    visit(plan.root, 0)
+    return "\n".join(lines)
+
+
+def explain_pipelines(plan: PhysicalPlan,
+                      model: Optional[CardinalityModel] = None) -> str:
+    """Pipeline decomposition with per-stage tuple flow."""
+    pipelines = decompose_into_pipelines(plan)
+    lines: List[str] = [f"{len(pipelines)} pipelines "
+                        f"for {plan.query_name or '<query>'}"]
+    for pipeline in pipelines:
+        lines.append(f"Pipeline {pipeline.index}:")
+        if model is None:
+            for ref in pipeline.stages:
+                lines.append(f"    {ref.label()}")
+            continue
+        for flow in compute_stage_flows(pipeline, model):
+            extra = ""
+            if flow.state_cardinality:
+                extra = f" state={flow.state_cardinality:,.0f}"
+            if flow.materialized_cardinality:
+                extra = f" materializes={flow.materialized_cardinality:,.0f}"
+            lines.append(
+                f"    {flow.ref.label():28s} in={flow.tuples_in:>14,.0f} "
+                f"out={flow.tuples_out:>14,.0f}{extra}")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""SQL data types and their physical properties."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..errors import SchemaError
+
+
+class DataType(Enum):
+    """Column data types supported by the engine.
+
+    The byte widths match a typical columnar in-memory layout and feed
+    the *size* features of T3 (bytes per materialized tuple).
+    """
+
+    BOOL = "bool"
+    INT = "int"
+    BIGINT = "bigint"
+    FLOAT = "float"
+    DECIMAL = "decimal"
+    DATE = "date"
+    CHAR = "char"
+    VARCHAR = "varchar"
+
+    @property
+    def byte_width(self) -> int:
+        """Bytes one value of this type occupies in a materialized tuple."""
+        return _BYTE_WIDTHS[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT, DataType.BIGINT, DataType.FLOAT,
+                        DataType.DECIMAL, DataType.DATE)
+
+    @property
+    def is_string(self) -> bool:
+        return self in (DataType.CHAR, DataType.VARCHAR)
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Dtype used by the vectorized executor to store this column."""
+        return _NUMPY_DTYPES[self]
+
+    @classmethod
+    def parse(cls, name: str) -> "DataType":
+        """Parse a SQL-ish type name (``integer``, ``numeric``, ``text``, ...)."""
+        key = name.strip().lower().split("(")[0]
+        try:
+            return _SQL_ALIASES[key]
+        except KeyError:
+            raise SchemaError(f"unknown SQL type {name!r}") from None
+
+
+_BYTE_WIDTHS = {
+    DataType.BOOL: 1,
+    DataType.INT: 4,
+    DataType.BIGINT: 8,
+    DataType.FLOAT: 8,
+    DataType.DECIMAL: 8,
+    DataType.DATE: 4,
+    DataType.CHAR: 8,
+    DataType.VARCHAR: 16,  # pointer + length in a columnar layout
+}
+
+_NUMPY_DTYPES = {
+    DataType.BOOL: np.dtype(np.bool_),
+    DataType.INT: np.dtype(np.int64),
+    DataType.BIGINT: np.dtype(np.int64),
+    DataType.FLOAT: np.dtype(np.float64),
+    DataType.DECIMAL: np.dtype(np.float64),
+    DataType.DATE: np.dtype(np.int64),      # days since epoch
+    DataType.CHAR: np.dtype(np.int64),      # dictionary-encoded code
+    DataType.VARCHAR: np.dtype(np.int64),   # dictionary-encoded code
+}
+
+_SQL_ALIASES = {
+    "bool": DataType.BOOL,
+    "boolean": DataType.BOOL,
+    "int": DataType.INT,
+    "integer": DataType.INT,
+    "smallint": DataType.INT,
+    "bigint": DataType.BIGINT,
+    "serial": DataType.INT,
+    "float": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "decimal": DataType.DECIMAL,
+    "numeric": DataType.DECIMAL,
+    "money": DataType.DECIMAL,
+    "date": DataType.DATE,
+    "timestamp": DataType.DATE,
+    "time": DataType.DATE,
+    "char": DataType.CHAR,
+    "character": DataType.CHAR,
+    "varchar": DataType.VARCHAR,
+    "text": DataType.VARCHAR,
+    "string": DataType.VARCHAR,
+}

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Raised for malformed schemas or references to unknown tables/columns."""
+
+
+class PlanError(ReproError):
+    """Raised when a logical or physical plan is structurally invalid."""
+
+
+class ExpressionError(ReproError):
+    """Raised when an expression references unknown columns or mixes types."""
+
+
+class TrainingError(ReproError):
+    """Raised when model training receives invalid data or parameters."""
+
+
+class CompilationError(ReproError):
+    """Raised when compiling a tree model to native code fails."""
+
+
+class FeatureError(ReproError):
+    """Raised when feature computation encounters an unknown operator stage."""
+
+
+class CardinalityError(ReproError):
+    """Raised when a cardinality model cannot evaluate a plan node."""
+
+
+class WorkloadError(ReproError):
+    """Raised by query generation when constraints cannot be satisfied."""

@@ -1,0 +1,22 @@
+"""Shared experiment harness for the paper's tables and figures.
+
+:class:`~repro.experiments.context.ExperimentContext` owns the standard
+setup every experiment shares — the 21-instance benchmarked workload,
+the TPC-DS leave-out split, and the trained models — and caches the
+expensive artifacts on disk so the 17 benchmark targets can run
+back-to-back without recomputing them.
+"""
+
+from .cache import DiskCache, default_cache
+from .context import ExperimentContext, ExperimentScale
+from .reporting import print_table, print_series, format_seconds
+
+__all__ = [
+    "DiskCache",
+    "default_cache",
+    "ExperimentContext",
+    "ExperimentScale",
+    "print_table",
+    "print_series",
+    "format_seconds",
+]

@@ -1,0 +1,79 @@
+"""Disk cache for expensive experiment artifacts.
+
+Workload construction and model training take tens of seconds; the
+benchmark suite runs 17 experiments that share them. Artifacts are
+pickled under ``REPRO_CACHE_DIR`` (default: ``<repo>/.cache``), keyed by
+a version-stamped string, and rebuilt transparently when missing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+#: Bump to invalidate all cached artifacts after incompatible changes.
+CACHE_VERSION = "v3"
+
+
+def _default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    # <repo>/.cache when running from a checkout; cwd fallback otherwise.
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / ".cache"
+    return Path.cwd() / ".cache"
+
+
+class DiskCache:
+    """Pickle-backed key-value cache with namespaced keys."""
+
+    def __init__(self, directory: Optional[Path] = None, enabled: bool = True):
+        self.directory = Path(directory) if directory else _default_cache_dir()
+        self.enabled = enabled
+
+    def _path(self, key: str) -> Path:
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", key)
+        return self.directory / f"{CACHE_VERSION}-{safe}.pkl"
+
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building it if needed."""
+        if not self.enabled:
+            return builder()
+        path = self._path(key)
+        if path.exists():
+            try:
+                with path.open("rb") as handle:
+                    return pickle.load(handle)
+            except Exception:
+                path.unlink(missing_ok=True)  # corrupt cache entry
+        value = builder()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+        return value
+
+    def invalidate(self, key: str) -> None:
+        self._path(key).unlink(missing_ok=True)
+
+    def clear(self) -> None:
+        if self.directory.exists():
+            for path in self.directory.glob(f"{CACHE_VERSION}-*.pkl"):
+                path.unlink()
+
+
+_DEFAULT: Optional[DiskCache] = None
+
+
+def default_cache() -> DiskCache:
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = DiskCache()
+    return _DEFAULT

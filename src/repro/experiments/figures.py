@@ -1,0 +1,81 @@
+"""CSV export of figure data for downstream plotting.
+
+The benchmark harness prints paper-style tables; this module exposes
+the same data as machine-readable series so users can plot the figures
+with their tool of choice:
+
+>>> from repro.experiments.figures import FigureData, write_csv
+>>> data = FigureData("fig12", "distortion",
+...                   {"T3": [1.1, 1.4], "ZeroShot": [2.4, 3.5]},
+...                   [1, 1000])
+>>> write_csv(data, "fig12.csv")                      # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from ..errors import ReproError
+
+
+@dataclass
+class FigureData:
+    """One figure's data: named series over shared x values."""
+
+    name: str
+    x_label: str
+    series: Dict[str, Sequence[float]]
+    x_values: Sequence[object]
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ReproError(f"figure {self.name!r} has no series")
+        lengths = {len(values) for values in self.series.values()}
+        lengths.add(len(self.x_values))
+        if len(lengths) != 1:
+            raise ReproError(
+                f"figure {self.name!r}: series lengths differ: {lengths}")
+
+    def rows(self) -> List[List[object]]:
+        header = [self.x_label] + list(self.series)
+        body = []
+        for i, x in enumerate(self.x_values):
+            body.append([x] + [self.series[name][i] for name in self.series])
+        return [header] + body
+
+
+def write_csv(data: FigureData, path: Union[str, Path]) -> Path:
+    """Write one figure's data as CSV; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        for row in data.rows():
+            writer.writerow(row)
+    return path
+
+
+def read_csv(path: Union[str, Path]) -> FigureData:
+    """Read a figure back from :func:`write_csv` output."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        rows = list(csv.reader(handle))
+    if len(rows) < 2:
+        raise ReproError(f"{path} does not contain figure data")
+    header, body = rows[0], rows[1:]
+    x_values = [row[0] for row in body]
+    series = {name: [float(row[i + 1]) for row in body]
+              for i, name in enumerate(header[1:])}
+    return FigureData(path.stem, header[0], series, x_values)
+
+
+def export_all(figures: Sequence[FigureData],
+               directory: Union[str, Path]) -> List[Path]:
+    """Write a set of figures into ``directory`` as ``<name>.csv``."""
+    directory = Path(directory)
+    return [write_csv(figure, directory / f"{figure.name}.csv")
+            for figure in figures]

@@ -1,0 +1,78 @@
+"""Paper-style console tables for the benchmark harness.
+
+Every benchmark target prints the rows/series the corresponding table or
+figure in the paper reports, so reproduction results can be compared
+side by side with the published numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Sequence
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale: ns / us / ms / s."""
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.0f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+#: Optional context-manager factory (e.g. pytest's ``capsys.disabled``)
+#: installed by the benchmark harness so tables appear on the live
+#: terminal despite output capturing.
+_CAPTURE_DISABLER = None
+
+
+def set_capture_disabler(factory) -> None:
+    """Install/remove a capture-disabling context-manager factory."""
+    global _CAPTURE_DISABLER
+    _CAPTURE_DISABLER = factory
+
+
+def _emit(text: str) -> None:
+    print(text)
+    sys.stdout.flush()
+    if _CAPTURE_DISABLER is not None:
+        with _CAPTURE_DISABLER():
+            print(text)
+            sys.stdout.flush()
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]],
+                note: str = "") -> None:
+    """Render one experiment table."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"\n=== {title} ==="]
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    if note:
+        lines.append(f"note: {note}")
+    _emit("\n".join(lines))
+
+
+def print_series(title: str, x_label: str, series: dict,
+                 x_values: Sequence[object], note: str = "") -> None:
+    """Render a figure's data series (one column per named series)."""
+    headers = [x_label] + list(series)
+    rows: List[List[object]] = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            value = series[name][i]
+            row.append(f"{value:.4g}" if isinstance(value, float) else value)
+        rows.append(row)
+    print_table(title, headers, rows, note)

@@ -1,0 +1,180 @@
+"""Cost models for the DPsize enumerator.
+
+Two models, as in Table 5 of the paper:
+
+* :class:`CoutJoinCost` — C_out: three additions per combination,
+* :class:`T3JoinCost` — T3 as a cost model, applied incrementally:
+  every new join changes exactly two pipelines (the left subtree's open
+  pipeline gains a hash-join *build* stage, the right subtree's open
+  pipeline gains a *probe* stage), so each DP combination makes exactly
+  **two** T3 model calls; the cost of pipelines completed deeper in the
+  subtrees is cached in the DP entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.features import FeatureRegistry, default_registry
+from ..core.targets import inverse_transform
+from ..engine.cardinality import ExactCardinalityModel
+from ..engine.catalog import Catalog
+from ..engine.physical import PTableScan
+from ..engine.pipelines import Pipeline, StageRef
+from ..engine.stages import Stage
+from .joingraph import JoinGraph, Relation
+
+
+@dataclass
+class DPState:
+    """Cost-model-specific state carried in each DP table entry.
+
+    ``comparison_cost`` orders candidate plans. The T3 model
+    additionally carries the open pipeline's feature vector and the cost
+    of all already-completed pipelines.
+    """
+
+    comparison_cost: float
+    completed_cost: float = 0.0
+    open_vector: Optional[np.ndarray] = None
+    open_start: float = 1.0
+
+
+class JoinCostModel:
+    """Interface consumed by DPsize."""
+
+    #: Number of model invocations made so far (Table 5's "Model Calls").
+    model_calls: int = 0
+
+    def leaf(self, relation: Relation) -> DPState:
+        raise NotImplementedError
+
+    def combine(self, graph: JoinGraph, left: DPState, right: DPState,
+                left_card: float, right_card: float,
+                out_card: float) -> DPState:
+        raise NotImplementedError
+
+
+class CoutJoinCost(JoinCostModel):
+    """C_out: cost = output cardinality + child costs (Equation 3)."""
+
+    def __init__(self):
+        self.model_calls = 0
+
+    def leaf(self, relation: Relation) -> DPState:
+        return DPState(comparison_cost=0.0)
+
+    def combine(self, graph: JoinGraph, left: DPState, right: DPState,
+                left_card: float, right_card: float,
+                out_card: float) -> DPState:
+        self.model_calls += 1
+        return DPState(comparison_cost=out_card + left.comparison_cost
+                       + right.comparison_cost)
+
+
+class T3JoinCost(JoinCostModel):
+    """T3 applied incrementally inside DPsize.
+
+    Open pipelines are represented directly as T3 feature vectors. A
+    combination (T1 join T2):
+
+    1. appends ``HashJoin_Build`` features to T1's open vector and
+       *completes* that pipeline (model call #1),
+    2. appends ``HashJoin_Probe`` features to T2's open vector, which
+       stays open (model call #2 estimates its running cost for plan
+       comparison).
+    """
+
+    def __init__(self, predict_raw_one,
+                 registry: Optional[FeatureRegistry] = None,
+                 catalog: Optional[Catalog] = None):
+        """``predict_raw_one``: vector → transformed per-tuple time
+        (e.g. ``T3Model.predict_raw_one`` of a compiled model).
+
+        With a ``catalog``, DP leaves are featurized by the *real*
+        pipeline featurizer (predicate classes, evaluation percentages,
+        scan widths all faithful to training data); without one, a
+        coarse hand-built scan vector is used.
+        """
+        self._predict = predict_raw_one
+        self.registry = registry or default_registry()
+        self.catalog = catalog
+        self._exact = ExactCardinalityModel(catalog) if catalog else None
+        self.model_calls = 0
+        index = self.registry.index_of
+        self._scan_count = index("TableScan_Scan_count")
+        self._scan_card = index("TableScan_Scan_in_card")
+        self._scan_size = index("TableScan_Scan_in_size")
+        self._scan_out = index("TableScan_Scan_out_percentage")
+        self._scan_cmp = index("TableScan_Scan_expr_comparison_percentage")
+        self._build_count = index("HashJoin_Build_count")
+        self._build_card = index("HashJoin_Build_in_card")
+        self._build_size = index("HashJoin_Build_in_size")
+        self._build_pct = index("HashJoin_Build_in_percentage")
+        self._probe_count = index("HashJoin_Probe_count")
+        self._probe_card = index("HashJoin_Probe_in_card")
+        self._probe_size = index("HashJoin_Probe_in_size")
+        self._probe_right = index("HashJoin_Probe_right_percentage")
+        self._probe_out = index("HashJoin_Probe_out_percentage")
+
+    def _pipeline_time(self, vector: np.ndarray, start: float) -> float:
+        self.model_calls += 1
+        return float(inverse_transform(self._predict(vector))) * max(start, 1.0)
+
+    def leaf(self, relation: Relation) -> DPState:
+        vector = self._leaf_vector(relation)
+        open_estimate = self._pipeline_time(vector, relation.base_rows)
+        return DPState(comparison_cost=open_estimate, completed_cost=0.0,
+                       open_vector=vector, open_start=relation.base_rows)
+
+    def _leaf_vector(self, relation: Relation) -> np.ndarray:
+        if self._exact is not None:
+            # Faithful path: lower the scan and use the real featurizer.
+            schema_table = self.catalog.schema.table(relation.table)
+            columns = [(relation.table, c) for c in schema_table.column_names]
+            predicates = sorted(
+                relation.scan.predicates,
+                key=lambda p: p.estimated_selectivity(self.catalog))
+            scan = PTableScan(relation.table, predicates,
+                              relation.scan.correlation_factor,
+                              columns, schema_table.row_byte_width,
+                              scan_byte_width=schema_table.row_byte_width)
+            pipeline = Pipeline(0, [StageRef(scan, Stage.SCAN)])
+            return self.registry.vector_for_pipeline(pipeline, self._exact)
+        # Coarse fallback without catalog access.
+        vector = np.zeros(self.registry.n_features)
+        vector[self._scan_count] = 1.0
+        vector[self._scan_card] = relation.base_rows
+        vector[self._scan_size] = relation.tuple_width
+        vector[self._scan_out] = relation.cardinality / max(relation.base_rows, 1.0)
+        vector[self._scan_cmp] = float(len(relation.scan.predicates))
+        return vector
+
+    def combine(self, graph: JoinGraph, left: DPState, right: DPState,
+                left_card: float, right_card: float,
+                out_card: float) -> DPState:
+        # Model call 1: close the left subtree's pipeline with a build.
+        build_vector = left.open_vector.copy()
+        build_vector[self._build_count] += 1.0
+        build_vector[self._build_card] += left_card
+        build_vector[self._build_size] += 16.0
+        build_vector[self._build_pct] += left_card / max(left.open_start, 1.0)
+        build_time = self._pipeline_time(build_vector, left.open_start)
+
+        # Model call 2: extend the right subtree's open pipeline by a probe.
+        probe_vector = right.open_vector.copy()
+        probe_vector[self._probe_count] += 1.0
+        probe_vector[self._probe_card] += left_card
+        probe_vector[self._probe_size] += 16.0
+        probe_vector[self._probe_right] += right_card / max(right.open_start, 1.0)
+        probe_vector[self._probe_out] += out_card / max(right.open_start, 1.0)
+        open_estimate = self._pipeline_time(probe_vector, right.open_start)
+
+        completed = left.completed_cost + right.completed_cost + build_time
+        return DPState(comparison_cost=completed + open_estimate,
+                       completed_cost=completed,
+                       open_vector=probe_vector,
+                       open_start=right.open_start)

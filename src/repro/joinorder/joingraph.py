@@ -1,0 +1,204 @@
+"""Join graphs with a cardinality oracle.
+
+The join-ordering experiments use *correct* cardinalities supplied with
+low latency (the paper's "cardinality oracle"), so the measured
+optimization time stresses the cost model, not estimation. The oracle
+here memoizes subset cardinalities computed from filtered base
+cardinalities and per-edge join selectivities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PlanError
+from ..engine.cardinality import ExactCardinalityModel
+from ..engine.catalog import Catalog
+from ..engine.logical import LogicalJoin, LogicalNode, LogicalScan
+from ..engine.schema import JoinEdge
+
+
+@dataclass
+class Relation:
+    """One base relation of the join graph."""
+
+    index: int
+    table: str
+    scan: LogicalScan
+    cardinality: float      # after local predicates (oracle)
+    base_rows: float        # before predicates
+    tuple_width: int
+
+
+@dataclass
+class GraphEdge:
+    """A join edge between two relations with its oracle selectivity."""
+
+    left: int
+    right: int
+    edge: JoinEdge
+    selectivity: float
+
+    def other(self, index: int) -> int:
+        return self.right if index == self.left else self.left
+
+
+class JoinGraph:
+    """Relations + edges + memoized subset-cardinality oracle."""
+
+    def __init__(self, relations: Sequence[Relation],
+                 edges: Sequence[GraphEdge]):
+        if not relations:
+            raise PlanError("join graph needs at least one relation")
+        self.relations = list(relations)
+        self.edges = list(edges)
+        self._cards: Dict[int, float] = {}
+        self._edges_by_pair: Dict[Tuple[int, int], GraphEdge] = {}
+        for graph_edge in self.edges:
+            key = (min(graph_edge.left, graph_edge.right),
+                   max(graph_edge.left, graph_edge.right))
+            self._edges_by_pair.setdefault(key, graph_edge)
+
+    @property
+    def n_relations(self) -> int:
+        return len(self.relations)
+
+    # -- connectivity ------------------------------------------------------
+
+    def connected(self, mask_a: int, mask_b: int) -> bool:
+        """Is there an edge between the two (disjoint) subsets?"""
+        for graph_edge in self.edges:
+            left_bit = 1 << graph_edge.left
+            right_bit = 1 << graph_edge.right
+            if (mask_a & left_bit and mask_b & right_bit) or \
+               (mask_a & right_bit and mask_b & left_bit):
+                return True
+        return False
+
+    def edge_between_sets(self, mask_a: int,
+                          mask_b: int) -> Optional[GraphEdge]:
+        for graph_edge in self.edges:
+            left_bit = 1 << graph_edge.left
+            right_bit = 1 << graph_edge.right
+            if (mask_a & left_bit and mask_b & right_bit) or \
+               (mask_a & right_bit and mask_b & left_bit):
+                return graph_edge
+        return None
+
+    # -- cardinality oracle ----------------------------------------------------
+
+    def cardinality(self, mask: int) -> float:
+        """Oracle cardinality of a subset (product form, memoized)."""
+        cached = self._cards.get(mask)
+        if cached is not None:
+            return cached
+        card = 1.0
+        for relation in self.relations:
+            if mask & (1 << relation.index):
+                card *= relation.cardinality
+        for graph_edge in self.edges:
+            if (mask & (1 << graph_edge.left)
+                    and mask & (1 << graph_edge.right)):
+                card *= graph_edge.selectivity
+        self._cards[mask] = card
+        return card
+
+    # -- construction from logical plans -------------------------------------------
+
+    @classmethod
+    def from_logical(cls, plan: LogicalNode, catalog: Catalog) -> "JoinGraph":
+        """Extract the join graph of an SPJ(-plus-aggregation) query.
+
+        Walks past non-join operators at the top, then collects scans
+        and inner-join edges. Oracle numbers come from the exact
+        cardinality model's machinery: true predicate selectivities,
+        correlation factors, distinct counts, and fanouts.
+        """
+        scans: List[LogicalScan] = []
+        join_pairs: List[JoinEdge] = []
+
+        def collect(node: LogicalNode) -> None:
+            if isinstance(node, LogicalScan):
+                scans.append(node)
+            elif isinstance(node, LogicalJoin):
+                if node.kind != "inner":
+                    raise PlanError("join graph supports inner joins only")
+                join_pairs.append(node.edge)
+                collect(node.left)
+                collect(node.right)
+            elif len(node.inputs) == 1:
+                collect(node.inputs[0])
+            else:
+                raise PlanError(
+                    f"cannot extract join graph through {type(node).__name__}")
+
+        collect(plan)
+        table_index = {scan.table: i for i, scan in enumerate(scans)}
+        if len(table_index) != len(scans):
+            raise PlanError("join graph requires distinct table instances")
+
+        exact = _OracleHelper(catalog)
+        relations = []
+        for i, scan in enumerate(scans):
+            base = float(catalog.row_count(scan.table))
+            filtered = base * exact.conjunction_selectivity(scan)
+            width = catalog.schema.table(scan.table).row_byte_width
+            relations.append(Relation(i, scan.table, scan, filtered, base, width))
+
+        edges = []
+        for join_edge in join_pairs:
+            left = table_index[join_edge.left_table]
+            right = table_index[join_edge.right_table]
+            selectivity = exact.join_selectivity(join_edge)
+            edges.append(GraphEdge(left, right, join_edge, selectivity))
+        return cls(relations, edges)
+
+
+class GraphCardinalityModel(ExactCardinalityModel):
+    """Exact cardinalities backed by a join graph's oracle.
+
+    When a forced join tree combines subsets connected by *several*
+    edges, a real engine applies all of them as join predicates; the
+    plain per-join model sees only one and over-counts. This model
+    computes every join node's output as the graph oracle's cardinality
+    of its base-table set, honoring all internal edges — matching what
+    executing the forced plan would produce.
+    """
+
+    def __init__(self, graph: "JoinGraph", catalog: Catalog):
+        super().__init__(catalog)
+        self.graph = graph
+        self._mask_by_table = {relation.table: 1 << relation.index
+                               for relation in graph.relations}
+
+    def _subtree_mask(self, op) -> int:
+        from ..engine.physical import PTableScan
+        mask = 0
+        for node in op.walk():
+            if isinstance(node, PTableScan):
+                mask |= self._mask_by_table.get(node.table, 0)
+        return mask
+
+    def _compute(self, op) -> float:
+        from ..engine.physical import _JoinBase
+        if isinstance(op, _JoinBase):
+            mask = self._subtree_mask(op)
+            if mask:
+                return self.graph.cardinality(mask)
+        return super()._compute(op)
+
+
+class _OracleHelper(ExactCardinalityModel):
+    """Reuses the exact model's selectivity rules for graph construction."""
+
+    def conjunction_selectivity(self, scan: LogicalScan) -> float:
+        return self._conjunction_selectivity(scan.predicates,
+                                             scan.correlation_factor)
+
+    def join_selectivity(self, edge: JoinEdge) -> float:
+        nd_left = float(self.catalog.column_stats(
+            edge.left_table, edge.left_column).true_distinct)
+        nd_right = float(self.catalog.column_stats(
+            edge.right_table, edge.right_column).true_distinct)
+        return edge.fanout / max(nd_left, nd_right, 1.0)

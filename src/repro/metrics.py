@@ -1,0 +1,98 @@
+"""Evaluation metrics for performance prediction.
+
+The paper evaluates with the *q-error* (Moerkotte et al. [35]), which
+penalizes over- and underestimation symmetrically:
+
+    q_error(a, b) = max(a / b, b / a)
+
+and aggregates over many queries with the median (p50), the 90th
+percentile (p90), and the arithmetic mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ReproError
+
+#: Floor applied to predictions/truths before computing q-errors so that
+#: zero-time queries (which exist: the optimizer can answer some queries
+#: without starting the engine) do not produce infinite errors.
+TIME_FLOOR_SECONDS = 1e-9
+
+
+def q_error(predicted: float, actual: float, floor: float = TIME_FLOOR_SECONDS) -> float:
+    """Q-error of one prediction: ``max(a/b, b/a)`` after flooring both values.
+
+    Always >= 1.0; equals 1.0 iff the floored values match exactly.
+    """
+    if predicted < 0 or actual < 0:
+        raise ReproError(f"q_error expects non-negative values, got {predicted}, {actual}")
+    a = max(predicted, floor)
+    b = max(actual, floor)
+    return max(a / b, b / a)
+
+
+def q_errors(predicted: Sequence[float], actual: Sequence[float],
+             floor: float = TIME_FLOOR_SECONDS) -> np.ndarray:
+    """Vectorized q-error for parallel sequences of predictions and truths."""
+    p = np.maximum(np.asarray(predicted, dtype=np.float64), floor)
+    a = np.maximum(np.asarray(actual, dtype=np.float64), floor)
+    if p.shape != a.shape:
+        raise ReproError(f"shape mismatch: {p.shape} vs {a.shape}")
+    if np.any(p < 0) or np.any(a < 0):
+        raise ReproError("q_errors expects non-negative values")
+    return np.maximum(p / a, a / p)
+
+
+@dataclass(frozen=True)
+class QErrorSummary:
+    """The three aggregate statistics the paper reports for every experiment."""
+
+    p50: float
+    p90: float
+    mean: float
+    count: int
+
+    def row(self) -> str:
+        """One formatted table row: ``p50  p90  avg  (n)``."""
+        return f"{self.p50:7.2f} {self.p90:7.2f} {self.mean:7.2f}  (n={self.count})"
+
+
+def summarize_q_errors(errors: Iterable[float]) -> QErrorSummary:
+    """Aggregate a collection of q-errors into p50/p90/mean statistics."""
+    arr = np.asarray(list(errors), dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("cannot summarize an empty q-error collection")
+    return QErrorSummary(
+        p50=float(np.percentile(arr, 50)),
+        p90=float(np.percentile(arr, 90)),
+        mean=float(arr.mean()),
+        count=int(arr.size),
+    )
+
+
+def summarize_predictions(predicted: Sequence[float], actual: Sequence[float],
+                          floor: float = TIME_FLOOR_SECONDS) -> QErrorSummary:
+    """Convenience wrapper: q-errors of (predicted, actual) pairs, summarized."""
+    return summarize_q_errors(q_errors(predicted, actual, floor=floor))
+
+
+def consistent_run_deviation(run_times: Sequence[float], keep_fraction: float = 2 / 3) -> float:
+    """Worst q-error among the most consistent fraction of repeated runs.
+
+    This is the paper's Table 3 statistic: out of 10 measured runs, the
+    2/3 (i.e. 7) closest to the median are kept, and the one furthest from
+    the median is reported as that query's deviation.
+    """
+    times = np.asarray(run_times, dtype=np.float64)
+    if times.size == 0:
+        raise ReproError("need at least one run time")
+    median = float(np.median(times))
+    keep = max(1, int(round(times.size * keep_fraction)))
+    deviations = q_errors(times, np.full(times.shape, median))
+    kept = np.sort(deviations)[:keep]
+    return float(kept[-1])

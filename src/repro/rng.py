@@ -1,0 +1,41 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component in the library (query generation, simulator
+noise, tree training subsampling, neural-network initialization) derives
+its randomness from a :class:`numpy.random.Generator` seeded through this
+module, so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Seed used by all default experiment configurations.
+DEFAULT_SEED = 0x54335F33  # "T3_3"
+
+
+def make_rng(seed: int = DEFAULT_SEED) -> np.random.Generator:
+    """Create a fresh generator from an integer seed."""
+    return np.random.default_rng(seed)
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Derive a child seed from a base seed and a sequence of labels.
+
+    The derivation is a stable hash, so components that receive the same
+    ``(base_seed, labels)`` pair always observe the same random stream,
+    regardless of call order elsewhere in the program.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(base_seed).encode())
+    for label in labels:
+        digest.update(b"\x1f")
+        digest.update(str(label).encode())
+    return int.from_bytes(digest.digest()[:8], "little")
+
+
+def derive_rng(base_seed: int, *labels: object) -> np.random.Generator:
+    """Create a generator for a named sub-component (see :func:`derive_seed`)."""
+    return np.random.default_rng(derive_seed(base_seed, *labels))

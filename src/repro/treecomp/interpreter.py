@@ -1,0 +1,109 @@
+"""Interpreted tree-model evaluation baselines.
+
+Three interpretation strategies bracket the compiled model in the
+latency experiments:
+
+* :class:`PythonScalarModel` — per-call scalar tree walking, the
+  "T3 interpreted" row of Table 1 (LightGBM's own single-row path is an
+  interpreter too),
+* :class:`InterpretedModel` — vectorized numpy evaluation, fastest
+  interpreted option for batches,
+* :class:`MultiThreadedInterpretedModel` — chunked evaluation across a
+  thread pool, the "interpreted MT" line of Figure 5.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..trees.boosting import BoostedTreesModel
+
+
+class PythonScalarModel:
+    """Scalar interpreter: walks every tree node by node per prediction."""
+
+    def __init__(self, model: BoostedTreesModel):
+        self._model = model
+        self.n_features = model.n_features
+
+    def predict_one(self, x: np.ndarray) -> float:
+        return self._model.predict_one(np.asarray(x, dtype=np.float64))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            return np.array([self.predict_one(X)])
+        return np.array([self.predict_one(row) for row in X])
+
+
+class InterpretedModel:
+    """Vectorized numpy interpreter (single-threaded)."""
+
+    def __init__(self, model: BoostedTreesModel):
+        self._model = model
+        self.n_features = model.n_features
+
+    def predict_one(self, x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=np.float64)
+        return float(self._model.predict(x[None, :])[0])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            return np.array([self.predict_one(X)])
+        return self._model.predict(X)
+
+
+class MultiThreadedInterpretedModel:
+    """Interpreted evaluation chunked across a pool of worker threads.
+
+    Mirrors LightGBM's multi-threaded interpretation in Figure 5: it
+    only pays off for very large batches, where per-chunk numpy work
+    dominates the thread coordination overhead.
+    """
+
+    def __init__(self, model: BoostedTreesModel, n_threads: int = 4,
+                 min_chunk: int = 64):
+        if n_threads < 1:
+            raise TrainingError("n_threads must be >= 1")
+        self._model = model
+        self.n_features = model.n_features
+        self.n_threads = n_threads
+        self.min_chunk = min_chunk
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.n_threads)
+        return self._pool
+
+    def predict_one(self, x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=np.float64)
+        return float(self._model.predict(x[None, :])[0])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            return np.array([self.predict_one(X)])
+        if len(X) < self.min_chunk * 2:
+            return self._model.predict(X)
+        pool = self._ensure_pool()
+        chunks = np.array_split(np.arange(len(X)), self.n_threads)
+        chunks = [c for c in chunks if len(c)]
+        results = list(pool.map(lambda c: self._model.predict(X[c]), chunks))
+        return np.concatenate(results)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

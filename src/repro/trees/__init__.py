@@ -1,0 +1,42 @@
+"""Gradient-boosted decision tree framework (LightGBM-equivalent substrate).
+
+The paper trains its model with LightGBM [19]. That framework is not
+available offline, so this package implements the same algorithm class
+from scratch:
+
+* histogram-based split finding (:mod:`repro.trees.histogram`),
+* leaf-wise tree growth with gain-based leaf selection
+  (:mod:`repro.trees.grow`),
+* gradient boosting with shrinkage, a held-out validation fraction, and
+  several objectives including the MAPE objective the paper uses
+  (:mod:`repro.trees.boosting`, :mod:`repro.trees.objectives`),
+* a text serialization format so trained models can be cached and handed
+  to the native-code compiler (:mod:`repro.trees.serialize`).
+
+The trained artifact is a :class:`repro.trees.boosting.BoostedTreesModel`:
+an ensemble of :class:`repro.trees.tree.Tree` objects whose predictions
+sum (LightGBM semantics).
+"""
+
+from .tree import Tree, TreeNode
+from .histogram import BinMapper
+from .objectives import L2Objective, L1Objective, MAPEObjective, get_objective
+from .boosting import BoostingParams, BoostedTreesModel, train_boosted_trees
+from .serialize import dump_model, load_model, dumps_model, loads_model
+
+__all__ = [
+    "Tree",
+    "TreeNode",
+    "BinMapper",
+    "L2Objective",
+    "L1Objective",
+    "MAPEObjective",
+    "get_objective",
+    "BoostingParams",
+    "BoostedTreesModel",
+    "train_boosted_trees",
+    "dump_model",
+    "load_model",
+    "dumps_model",
+    "loads_model",
+]

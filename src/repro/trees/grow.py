@@ -1,0 +1,208 @@
+"""Leaf-wise growth of a single regression tree on binned data.
+
+This is the heart of the trainer. Like LightGBM, growth is *leaf-wise*:
+among all current leaves, the one whose best split has the highest gain
+is split next, until ``num_leaves`` is reached or no split has positive
+gain. Split finding scans per-leaf feature histograms; sibling
+histograms are obtained by subtraction from the parent so each row is
+histogrammed only O(depth of smaller side) times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import TrainingError
+from .histogram import BinMapper
+from .tree import LEAF, Tree, TreeNode
+
+
+@dataclass(frozen=True)
+class GrowthParams:
+    """Structural hyperparameters for one tree (paper: ~30 leaves)."""
+
+    num_leaves: int = 31
+    max_depth: int = 12
+    min_data_in_leaf: int = 10
+    min_sum_hessian_in_leaf: float = 1e-3
+    lambda_l2: float = 1e-3
+    min_split_gain: float = 1e-12
+
+    def validate(self) -> None:
+        if self.num_leaves < 2:
+            raise TrainingError("num_leaves must be >= 2")
+        if self.min_data_in_leaf < 1:
+            raise TrainingError("min_data_in_leaf must be >= 1")
+        if self.max_depth < 1:
+            raise TrainingError("max_depth must be >= 1")
+
+
+@dataclass
+class _Histogram:
+    grad: np.ndarray   # (n_features, max_bins)
+    hess: np.ndarray
+    count: np.ndarray
+
+    def subtract(self, other: "_Histogram") -> "_Histogram":
+        return _Histogram(self.grad - other.grad,
+                          self.hess - other.hess,
+                          self.count - other.count)
+
+
+@dataclass
+class _SplitCandidate:
+    gain: float
+    feature: int
+    bin_index: int
+
+
+@dataclass
+class _LeafState:
+    node_index: int
+    rows: np.ndarray
+    depth: int
+    histogram: _Histogram
+    sum_grad: float
+    sum_hess: float
+    best: Optional[_SplitCandidate] = field(default=None)
+
+
+class TreeGrower:
+    """Grows one tree for a fixed (binned data, gradient, hessian) triple."""
+
+    def __init__(self, binned: np.ndarray, bin_mapper: BinMapper,
+                 params: GrowthParams,
+                 feature_mask: Optional[np.ndarray] = None):
+        params.validate()
+        if binned.dtype != np.uint8:
+            raise TrainingError("binned matrix must be uint8 (use BinMapper)")
+        self.binned = binned
+        self.mapper = bin_mapper
+        self.params = params
+        self.n_rows, self.n_features = binned.shape
+        self.max_bins = bin_mapper.max_bins
+        self._offsets = (np.arange(self.n_features, dtype=np.int64)
+                         * self.max_bins)
+        # Per-feature number of *usable* split boundaries: bins - 1.
+        self._n_boundaries = np.array(
+            [bin_mapper.n_bins(j) - 1 for j in range(self.n_features)],
+            dtype=np.int64)
+        if feature_mask is not None and feature_mask.shape != (self.n_features,):
+            raise TrainingError("feature_mask must have one entry per feature")
+        self.feature_mask = feature_mask
+        # Precomputed mask of invalid (feature, bin) boundary positions.
+        bins = np.arange(self.max_bins)[None, :]
+        self._invalid_boundary = bins >= self._n_boundaries[:, None]
+        if feature_mask is not None:
+            self._invalid_boundary = self._invalid_boundary | ~feature_mask[:, None]
+
+    # -- histogram construction -----------------------------------------
+
+    def _build_histogram(self, rows: np.ndarray, grad: np.ndarray,
+                         hess: np.ndarray) -> _Histogram:
+        sub = self.binned[rows]
+        flat = (sub.astype(np.int64) + self._offsets[None, :]).ravel()
+        size = self.n_features * self.max_bins
+        g = np.bincount(flat, weights=np.repeat(grad[rows], self.n_features),
+                        minlength=size)
+        h = np.bincount(flat, weights=np.repeat(hess[rows], self.n_features),
+                        minlength=size)
+        c = np.bincount(flat, minlength=size)
+        shape = (self.n_features, self.max_bins)
+        return _Histogram(g.reshape(shape), h.reshape(shape),
+                          c.reshape(shape).astype(np.int64))
+
+    # -- split search -----------------------------------------------------
+
+    def _leaf_objective(self, sum_grad: float, sum_hess: float) -> float:
+        return (sum_grad * sum_grad) / (sum_hess + self.params.lambda_l2)
+
+    def _find_best_split(self, leaf: _LeafState) -> Optional[_SplitCandidate]:
+        p = self.params
+        hist = leaf.histogram
+        grad_left = np.cumsum(hist.grad, axis=1)
+        hess_left = np.cumsum(hist.hess, axis=1)
+        count_left = np.cumsum(hist.count, axis=1)
+        grad_right = leaf.sum_grad - grad_left
+        hess_right = leaf.sum_hess - hess_left
+        count_right = len(leaf.rows) - count_left
+
+        lam = p.lambda_l2
+        gain = (grad_left ** 2 / (hess_left + lam)
+                + grad_right ** 2 / (hess_right + lam)
+                - self._leaf_objective(leaf.sum_grad, leaf.sum_hess))
+        invalid = (self._invalid_boundary
+                   | (count_left < p.min_data_in_leaf)
+                   | (count_right < p.min_data_in_leaf)
+                   | (hess_left < p.min_sum_hessian_in_leaf)
+                   | (hess_right < p.min_sum_hessian_in_leaf))
+        gain = np.where(invalid, -np.inf, gain)
+        flat_best = int(np.argmax(gain))
+        feature, bin_index = divmod(flat_best, self.max_bins)
+        best_gain = float(gain[feature, bin_index])
+        if not np.isfinite(best_gain) or best_gain <= p.min_split_gain:
+            return None
+        return _SplitCandidate(best_gain, feature, bin_index)
+
+    # -- main loop ---------------------------------------------------------
+
+    def grow(self, grad: np.ndarray, hess: np.ndarray) -> Tree:
+        """Grow and return one tree; leaf values are the unshrunk Newton steps."""
+        if grad.shape != (self.n_rows,) or hess.shape != (self.n_rows,):
+            raise TrainingError("gradient/hessian must have one entry per row")
+        p = self.params
+        nodes: List[TreeNode] = [TreeNode()]
+        all_rows = np.arange(self.n_rows, dtype=np.int64)
+        root = _LeafState(
+            node_index=0, rows=all_rows, depth=0,
+            histogram=self._build_histogram(all_rows, grad, hess),
+            sum_grad=float(grad.sum()), sum_hess=float(hess.sum()))
+        root.best = self._find_best_split(root)
+        leaves: List[_LeafState] = [root]
+
+        while len(leaves) < p.num_leaves:
+            splittable = [leaf for leaf in leaves
+                          if leaf.best is not None and leaf.depth < p.max_depth]
+            if not splittable:
+                break
+            leaf = max(splittable, key=lambda s: s.best.gain)
+            leaves.remove(leaf)
+            best = leaf.best
+
+            go_left = self.binned[leaf.rows, best.feature] <= best.bin_index
+            left_rows = leaf.rows[go_left]
+            right_rows = leaf.rows[~go_left]
+            # Histogram only the smaller child; derive the other by subtraction.
+            if len(left_rows) <= len(right_rows):
+                left_hist = self._build_histogram(left_rows, grad, hess)
+                right_hist = leaf.histogram.subtract(left_hist)
+            else:
+                right_hist = self._build_histogram(right_rows, grad, hess)
+                left_hist = leaf.histogram.subtract(right_hist)
+
+            node = nodes[leaf.node_index]
+            node.feature = best.feature
+            node.threshold = self.mapper.bin_upper_bound(best.feature, best.bin_index)
+            node.left = len(nodes)
+            node.right = len(nodes) + 1
+            nodes.append(TreeNode())
+            nodes.append(TreeNode())
+
+            for rows, hist, child_index in (
+                    (left_rows, left_hist, node.left),
+                    (right_rows, right_hist, node.right)):
+                child = _LeafState(
+                    node_index=child_index, rows=rows, depth=leaf.depth + 1,
+                    histogram=hist,
+                    sum_grad=float(grad[rows].sum()),
+                    sum_hess=float(hess[rows].sum()))
+                child.best = self._find_best_split(child)
+                leaves.append(child)
+
+        for leaf in leaves:
+            nodes[leaf.node_index].value = (
+                -leaf.sum_grad / (leaf.sum_hess + p.lambda_l2))
+        return Tree.from_nodes(nodes)

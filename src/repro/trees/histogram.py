@@ -1,0 +1,109 @@
+"""Feature binning for histogram-based split finding.
+
+Like LightGBM, the trainer does not search raw thresholds. Each feature
+is discretized into at most ``max_bins`` bins chosen from the quantiles
+of the training data; split search then scans bin boundaries. Binning
+happens once per dataset, which is what makes histogram GBDT training
+fast.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+class BinMapper:
+    """Maps raw float features to small integer bins and back.
+
+    The mapper stores, per feature, an ascending array of *upper bounds*:
+    a value ``x`` belongs to bin ``i`` iff
+    ``bounds[i-1] < x <= bounds[i]`` (with ``bounds[-1] = -inf``).
+    The last bin is unbounded above. Thresholds handed to trees are the
+    upper bound of the left bin, so a binned split ``bin <= i`` and the
+    raw-value split ``x <= bounds[i]`` select exactly the same rows.
+    """
+
+    def __init__(self, max_bins: int = 255):
+        if not 2 <= max_bins <= 255:
+            raise TrainingError(f"max_bins must be in [2, 255], got {max_bins}")
+        self.max_bins = max_bins
+        self._bounds: Optional[List[np.ndarray]] = None
+        self.n_features: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._bounds is not None
+
+    def fit(self, X: np.ndarray) -> "BinMapper":
+        """Choose bin boundaries from the quantiles of ``X`` (n_rows x n_features)."""
+        X = _as_matrix(X)
+        n_rows, n_features = X.shape
+        if n_rows == 0:
+            raise TrainingError("cannot fit BinMapper on an empty dataset")
+        bounds: List[np.ndarray] = []
+        for j in range(n_features):
+            column = X[:, j]
+            distinct = np.unique(column)
+            if distinct.size <= self.max_bins:
+                # One bin per distinct value; boundary at midpoints.
+                if distinct.size == 1:
+                    upper = np.empty(0, dtype=np.float64)
+                else:
+                    upper = (distinct[:-1] + distinct[1:]) / 2.0
+            else:
+                quantiles = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+                upper = np.unique(np.quantile(column, quantiles))
+            bounds.append(np.ascontiguousarray(upper, dtype=np.float64))
+        self._bounds = bounds
+        self.n_features = n_features
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Bin a raw feature matrix; result dtype is uint8."""
+        if self._bounds is None:
+            raise TrainingError("BinMapper.transform called before fit")
+        X = _as_matrix(X)
+        if X.shape[1] != self.n_features:
+            raise TrainingError(
+                f"expected {self.n_features} features, got {X.shape[1]}")
+        binned = np.empty(X.shape, dtype=np.uint8)
+        for j, upper in enumerate(self._bounds):
+            binned[:, j] = np.searchsorted(upper, X[:, j], side="left")
+        return binned
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def n_bins(self, feature: int) -> int:
+        """Number of bins actually used for ``feature``."""
+        if self._bounds is None:
+            raise TrainingError("BinMapper not fitted")
+        return len(self._bounds[feature]) + 1
+
+    def bin_upper_bound(self, feature: int, bin_index: int) -> float:
+        """Raw-value threshold equivalent to splitting after ``bin_index``.
+
+        Splitting rows with ``bin <= bin_index`` to the left is identical
+        to the raw-value condition ``x <= bin_upper_bound(feature, bin_index)``.
+        The last bin has no upper bound and is not a valid split point.
+        """
+        if self._bounds is None:
+            raise TrainingError("BinMapper not fitted")
+        upper = self._bounds[feature]
+        if not 0 <= bin_index < len(upper):
+            raise TrainingError(
+                f"bin {bin_index} of feature {feature} is not a split boundary")
+        return float(upper[bin_index])
+
+
+def _as_matrix(X: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise TrainingError(f"expected a 2-D feature matrix, got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise TrainingError("feature matrix contains NaN or infinite values")
+    return X

@@ -1,0 +1,55 @@
+"""Text serialization of boosted tree models.
+
+Models are stored as a single JSON document (LightGBM uses a bespoke
+text format; JSON keeps the same capability — cache trained models on
+disk, ship them to the compiler — without a custom parser).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import TrainingError
+from .boosting import BoostedTreesModel
+from .tree import Tree
+
+FORMAT_VERSION = 1
+
+
+def dumps_model(model: BoostedTreesModel) -> str:
+    """Serialize a model to a JSON string."""
+    payload = {
+        "format": "repro-gbdt",
+        "version": FORMAT_VERSION,
+        "base_score": model.base_score,
+        "n_features": model.n_features,
+        "trees": [tree.to_dict() for tree in model.trees],
+    }
+    return json.dumps(payload)
+
+
+def loads_model(text: str) -> BoostedTreesModel:
+    """Deserialize a model from a JSON string produced by :func:`dumps_model`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TrainingError(f"invalid model document: {exc}") from exc
+    if payload.get("format") != "repro-gbdt":
+        raise TrainingError("not a repro-gbdt model document")
+    if payload.get("version") != FORMAT_VERSION:
+        raise TrainingError(
+            f"unsupported model version {payload.get('version')!r}")
+    trees = [Tree.from_dict(entry) for entry in payload["trees"]]
+    return BoostedTreesModel(trees, payload["base_score"], payload["n_features"])
+
+
+def dump_model(model: BoostedTreesModel, path: Union[str, Path]) -> None:
+    """Write a model document to ``path``."""
+    Path(path).write_text(dumps_model(model))
+
+
+def load_model(path: Union[str, Path]) -> BoostedTreesModel:
+    """Read a model document from ``path``."""
+    return loads_model(Path(path).read_text())

@@ -1,0 +1,179 @@
+"""A single regression tree, stored as flat arrays.
+
+The layout mirrors what tree compilers (lleaves [3]) consume: every
+internal node holds a feature index and a raw-value threshold; evaluation
+goes left when ``x[feature] <= threshold``. Leaves hold the additive
+prediction value (shrinkage already applied by the booster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import TrainingError
+
+#: Sentinel child index marking a leaf node.
+LEAF = -1
+
+
+@dataclass
+class TreeNode:
+    """Builder-side node; frozen into arrays by :meth:`Tree.from_nodes`."""
+
+    feature: int = LEAF
+    threshold: float = 0.0
+    left: int = LEAF
+    right: int = LEAF
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left == LEAF
+
+
+class Tree:
+    """Immutable flat-array regression tree.
+
+    Attributes
+    ----------
+    feature, threshold, left, right, value:
+        Parallel arrays over nodes. Node 0 is the root. ``left[i] == -1``
+        marks node ``i`` as a leaf whose prediction is ``value[i]``.
+    """
+
+    def __init__(self, feature: np.ndarray, threshold: np.ndarray,
+                 left: np.ndarray, right: np.ndarray, value: np.ndarray):
+        self.feature = np.ascontiguousarray(feature, dtype=np.int32)
+        self.threshold = np.ascontiguousarray(threshold, dtype=np.float64)
+        self.left = np.ascontiguousarray(left, dtype=np.int32)
+        self.right = np.ascontiguousarray(right, dtype=np.int32)
+        self.value = np.ascontiguousarray(value, dtype=np.float64)
+        n = len(self.feature)
+        if not (len(self.threshold) == len(self.left) == len(self.right) == len(self.value) == n):
+            raise TrainingError("tree arrays must have equal length")
+        if n == 0:
+            raise TrainingError("a tree needs at least one node")
+        self._validate()
+
+    def _validate(self) -> None:
+        n = self.n_nodes
+        for i in range(n):
+            if self.left[i] == LEAF:
+                if self.right[i] != LEAF:
+                    raise TrainingError(f"node {i}: half-leaf is invalid")
+            else:
+                for child in (self.left[i], self.right[i]):
+                    if not 0 <= child < n:
+                        raise TrainingError(f"node {i}: child {child} out of range")
+                if self.feature[i] < 0:
+                    raise TrainingError(f"node {i}: internal node without feature")
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_nodes(cls, nodes: List[TreeNode]) -> "Tree":
+        """Freeze a list of builder nodes (index order preserved)."""
+        return cls(
+            feature=np.array([n.feature for n in nodes], dtype=np.int32),
+            threshold=np.array([n.threshold for n in nodes], dtype=np.float64),
+            left=np.array([n.left for n in nodes], dtype=np.int32),
+            right=np.array([n.right for n in nodes], dtype=np.int32),
+            value=np.array([n.value for n in nodes], dtype=np.float64),
+        )
+
+    @classmethod
+    def single_leaf(cls, value: float) -> "Tree":
+        """A degenerate tree that predicts a constant."""
+        return cls.from_nodes([TreeNode(value=value)])
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.count_nonzero(self.left == LEAF))
+
+    @property
+    def max_depth(self) -> int:
+        """Longest root-to-leaf path length (a single leaf has depth 0)."""
+        depth = np.zeros(self.n_nodes, dtype=np.int64)
+        best = 0
+        for i in range(self.n_nodes):
+            if self.left[i] != LEAF:
+                for child in (self.left[i], self.right[i]):
+                    depth[child] = depth[i] + 1
+                    best = max(best, int(depth[child]))
+        return best
+
+    def used_features(self) -> np.ndarray:
+        """Sorted unique feature indices referenced by internal nodes."""
+        internal = self.left != LEAF
+        return np.unique(self.feature[internal])
+
+    # -- evaluation ----------------------------------------------------
+
+    def predict_one(self, x: np.ndarray) -> float:
+        """Evaluate the tree for a single feature vector."""
+        node = 0
+        while self.left[node] != LEAF:
+            if x[self.feature[node]] <= self.threshold[node]:
+                node = self.left[node]
+            else:
+                node = self.right[node]
+        return float(self.value[node])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation for a matrix of feature vectors.
+
+        Rows are routed level-synchronously: all rows sitting at internal
+        nodes take one step per iteration until every row reaches a leaf.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            return np.array([self.predict_one(X)])
+        nodes = np.zeros(len(X), dtype=np.int64)
+        active = self.left[nodes] != LEAF
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            current = nodes[idx]
+            go_left = X[idx, self.feature[current]] <= self.threshold[current]
+            nodes[idx] = np.where(go_left, self.left[current], self.right[current])
+            active[idx] = self.left[nodes[idx]] != LEAF
+        return self.value[nodes]
+
+    def leaf_index(self, x: np.ndarray) -> int:
+        """Node index of the leaf a single vector falls into."""
+        node = 0
+        while self.left[node] != LEAF:
+            node = self.left[node] if x[self.feature[node]] <= self.threshold[node] else self.right[node]
+        return node
+
+    # -- serialization helpers ------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "feature": self.feature.tolist(),
+            "threshold": self.threshold.tolist(),
+            "left": self.left.tolist(),
+            "right": self.right.tolist(),
+            "value": self.value.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Tree":
+        return cls(
+            feature=np.array(data["feature"], dtype=np.int32),
+            threshold=np.array(data["threshold"], dtype=np.float64),
+            left=np.array(data["left"], dtype=np.int32),
+            right=np.array(data["right"], dtype=np.int32),
+            value=np.array(data["value"], dtype=np.float64),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tree(nodes={self.n_nodes}, leaves={self.n_leaves}, depth={self.max_depth})"

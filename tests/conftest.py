@@ -1,0 +1,81 @@
+"""Shared fixtures: a small hand-built instance and tiny workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.types import DataType
+from repro.engine.schema import Column, DatabaseSchema, JoinEdge, TableSchema
+from repro.engine.catalog import Catalog
+from repro.engine.distributions import UniformInt, ZipfInt, uniform_categorical
+from repro.datagen.instances import Instance
+from repro.datagen.workload import WorkloadBuilder, WorkloadConfig
+
+
+def build_toy_instance(n_orders: int = 50_000, n_customers: int = 5_000,
+                       n_items: int = 3_000, seed: int = 7) -> Instance:
+    """A small orders/customer/item star schema used across tests."""
+    orders = TableSchema("orders", [
+        Column("o_id", DataType.BIGINT),
+        Column("o_cust", DataType.BIGINT),
+        Column("o_item", DataType.BIGINT),
+        Column("o_total", DataType.DECIMAL),
+        Column("o_date", DataType.DATE),
+        Column("o_status", DataType.CHAR),
+    ], primary_key="o_id")
+    customer = TableSchema("customer", [
+        Column("c_id", DataType.BIGINT),
+        Column("c_nation", DataType.INT),
+        Column("c_balance", DataType.DECIMAL),
+        Column("c_name", DataType.VARCHAR),
+    ], primary_key="c_id")
+    item = TableSchema("item", [
+        Column("i_id", DataType.BIGINT),
+        Column("i_price", DataType.DECIMAL),
+        Column("i_category", DataType.CHAR),
+    ], primary_key="i_id")
+    schema = DatabaseSchema("toy", [orders, customer, item], [
+        JoinEdge("orders", "o_cust", "customer", "c_id"),
+        JoinEdge("orders", "o_item", "item", "i_id"),
+    ])
+    catalog = Catalog(schema, seed=seed)
+    catalog.set_table_stats("orders", n_orders)
+    catalog.set_table_stats("customer", n_customers)
+    catalog.set_table_stats("item", n_items)
+    catalog.set_column_distribution("orders", "o_id", UniformInt(1, n_orders))
+    catalog.set_column_distribution("orders", "o_cust", UniformInt(1, n_customers))
+    catalog.set_column_distribution("orders", "o_item", UniformInt(1, n_items))
+    catalog.set_column_distribution("orders", "o_total", UniformInt(1, 10_000))
+    catalog.set_column_distribution("orders", "o_date", UniformInt(8000, 10_000))
+    catalog.set_column_distribution("orders", "o_status", uniform_categorical(4))
+    catalog.set_column_distribution("customer", "c_id", UniformInt(1, n_customers))
+    catalog.set_column_distribution("customer", "c_nation", ZipfInt(0, 25, 0.8))
+    catalog.set_column_distribution("customer", "c_balance",
+                                    UniformInt(-999, 9_999))
+    catalog.set_column_distribution("customer", "c_name",
+                                    uniform_categorical(n_customers))
+    catalog.set_column_distribution("item", "i_id", UniformInt(1, n_items))
+    catalog.set_column_distribution("item", "i_price", UniformInt(1, 500))
+    catalog.set_column_distribution("item", "i_category",
+                                    uniform_categorical(12))
+    catalog.validate_complete()
+    return Instance("toy", "toy", schema, catalog)
+
+
+@pytest.fixture(scope="session")
+def toy_instance() -> Instance:
+    return build_toy_instance()
+
+
+@pytest.fixture(scope="session")
+def toy_workload(toy_instance) -> list:
+    """A small benchmarked workload over the toy instance."""
+    config = WorkloadConfig(queries_per_structure=3,
+                            include_fixed_benchmarks=False)
+    return WorkloadBuilder(toy_instance, config).build()
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,159 @@
+"""Tests for the baseline models (NN framework, Zero-Shot, AutoWLM, Stage)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.baselines.nn import MLP, AdamOptimizer
+from repro.baselines.zeroshot import (
+    N_NODE_FEATURES,
+    ZeroShotConfig,
+    ZeroShotModel,
+    encode_plan,
+)
+from repro.baselines.autowlm import AutoWLMModel
+from repro.baselines.stage import StageConfig, StageModel, plan_fingerprint
+from repro.baselines.cout import cout_cost
+from repro.core.dataset import cardinality_model_for
+from repro.engine.cardinality import ExactCardinalityModel
+from repro.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def toy_workload():
+    from tests.conftest import build_toy_instance
+    from repro.datagen.workload import WorkloadBuilder, WorkloadConfig
+    config = WorkloadConfig(queries_per_structure=3,
+                            include_fixed_benchmarks=False)
+    return WorkloadBuilder(build_toy_instance(), config).build()
+
+
+@pytest.fixture(scope="module")
+def exact(toy_workload):
+    return ExactCardinalityModel(toy_workload[0].catalog)
+
+
+@pytest.fixture(scope="module")
+def zeroshot(toy_workload):
+    config = ZeroShotConfig(n_epochs=40, hidden_size=48)
+    return ZeroShotModel(config).fit(toy_workload)
+
+
+class TestNNFramework:
+    def test_mlp_learns_xor_like_function(self):
+        rng = derive_rng(0, "nn-test")
+        X = rng.uniform(-1, 1, size=(800, 2))
+        y = (np.sign(X[:, 0] * X[:, 1]))[:, None]
+        mlp = MLP([2, 32, 32, 1], rng)
+        optimizer = AdamOptimizer(mlp.parameters(), learning_rate=3e-3)
+        for _ in range(400):
+            mlp.zero_grad()
+            out = mlp.forward(X)
+            grad = 2 * (out - y) / len(y)
+            mlp.backward(grad)
+            optimizer.step()
+        final = float(np.mean((mlp.forward(X, remember=False) - y) ** 2))
+        assert final < 0.3
+
+    def test_backward_before_forward_rejected(self):
+        mlp = MLP([2, 4, 1], derive_rng(0, "x"))
+        with pytest.raises(TrainingError):
+            mlp.backward(np.zeros((1, 1)))
+
+    def test_mlp_needs_two_sizes(self):
+        with pytest.raises(TrainingError):
+            MLP([3], derive_rng(0, "y"))
+
+    def test_gradient_clipping_bounds_step(self):
+        rng = derive_rng(0, "clip")
+        layer_params = [(np.zeros(4), np.full(4, 1e9))]
+        optimizer = AdamOptimizer(layer_params, learning_rate=0.1,
+                                  clip_norm=1.0)
+        optimizer.step()
+        # After one Adam step with clipped gradients, |update| <= lr-ish.
+        assert np.all(np.abs(layer_params[0][0]) < 1.0)
+
+
+class TestZeroShot:
+    def test_encode_plan_shape(self, toy_workload, exact):
+        nodes = encode_plan(toy_workload[0].plan, exact)
+        assert nodes.shape == (toy_workload[0].plan.n_operators,
+                               N_NODE_FEATURES)
+        assert np.isfinite(nodes).all()
+
+    def test_fits_training_workload(self, zeroshot, toy_workload):
+        summary = zeroshot.evaluate(toy_workload)
+        assert summary.p50 < 5.0
+
+    def test_predictions_positive_and_clamped(self, zeroshot, toy_workload,
+                                              exact):
+        for query in toy_workload[:10]:
+            value = zeroshot.predict_query(query.plan, exact)
+            assert 0 < value < 1e6
+
+    def test_predict_before_fit_rejected(self, toy_workload, exact):
+        model = ZeroShotModel(ZeroShotConfig(n_epochs=1))
+        with pytest.raises(TrainingError):
+            model.predict_query(toy_workload[0].plan, exact)
+
+    def test_training_loss_decreases(self, zeroshot):
+        losses = zeroshot.log.train_losses
+        assert losses[-1] < losses[0]
+
+    def test_deterministic(self, toy_workload):
+        config = ZeroShotConfig(n_epochs=5, hidden_size=16, seed=4)
+        a = ZeroShotModel(config).fit(toy_workload[:12])
+        b = ZeroShotModel(config).fit(toy_workload[:12])
+        model = ExactCardinalityModel(toy_workload[0].catalog)
+        pa = a.predict_query(toy_workload[0].plan, model)
+        pb = b.predict_query(toy_workload[0].plan, model)
+        assert pa == pytest.approx(pb)
+
+
+class TestAutoWLM:
+    def test_trains_and_predicts(self, toy_workload, exact):
+        model = AutoWLMModel.train(toy_workload)
+        assert model.predict_query(toy_workload[0].plan, exact) > 0
+        summary = model.evaluate(toy_workload)
+        assert summary.p50 < 10.0
+
+    def test_not_compiled(self, toy_workload):
+        model = AutoWLMModel.train(toy_workload)
+        assert not model.inner.is_compiled
+
+
+class TestStage:
+    @pytest.fixture(scope="class")
+    def stage(self, toy_workload):
+        from repro.baselines.zeroshot import ZeroShotConfig
+        return StageModel.train(
+            toy_workload, StageConfig(tree_max_operators=4),
+            network_config=ZeroShotConfig(n_epochs=15, hidden_size=32))
+
+    def test_routing_tiers(self, stage, toy_workload):
+        tiers = {stage.route(q.plan) for q in toy_workload}
+        assert "tree" in tiers and "nn" in tiers
+
+    def test_cache_tier_after_observation(self, stage, toy_workload, exact):
+        query = toy_workload[0]
+        stage.observe(query.plan, 0.123)
+        value, tier = stage.predict_query(query.plan, exact)
+        assert tier == "cache"
+        assert value == 0.123
+
+    def test_fingerprint_stable_and_discriminating(self, toy_workload):
+        a = plan_fingerprint(toy_workload[0].plan)
+        assert a == plan_fingerprint(toy_workload[0].plan)
+        fingerprints = {plan_fingerprint(q.plan) for q in toy_workload}
+        assert len(fingerprints) > len(toy_workload) // 2
+
+    def test_all_tiers_produce_predictions(self, stage, toy_workload, exact):
+        for query in toy_workload[:15]:
+            value, tier = stage.predict_query(query.plan, exact)
+            assert value > 0
+            assert tier in ("cache", "tree", "nn")
+
+
+class TestCout:
+    def test_formula(self):
+        assert cout_cost(100.0, 5.0, 7.0) == 112.0

@@ -1,0 +1,98 @@
+"""Tests for model inspection and prediction explanation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.trees.boosting import BoostingParams
+from repro.core.analysis import (
+    error_breakdown,
+    explain_prediction,
+    feature_importance_report,
+    format_importance_table,
+    runtime_bucket,
+)
+from repro.core.dataset import build_dataset
+from repro.core.model import T3Config, T3Model
+
+
+@pytest.fixture(scope="module")
+def toy_workload():
+    from tests.conftest import build_toy_instance
+    from repro.datagen.workload import WorkloadBuilder, WorkloadConfig
+    config = WorkloadConfig(queries_per_structure=3,
+                            include_fixed_benchmarks=False)
+    return WorkloadBuilder(build_toy_instance(), config).build()
+
+
+@pytest.fixture(scope="module")
+def model(toy_workload):
+    config = T3Config(boosting=BoostingParams(n_rounds=25),
+                      compile_to_native=False)
+    return T3Model.train(toy_workload, config)
+
+
+class TestFeatureImportance:
+    def test_report_shape(self, model):
+        report = feature_importance_report(model, top=10)
+        assert 1 <= len(report) <= 10
+        assert all(item.splits > 0 for item in report)
+        # Sorted descending.
+        splits = [item.splits for item in report]
+        assert splits == sorted(splits, reverse=True)
+
+    def test_fractions_sum_below_one(self, model):
+        report = feature_importance_report(model, top=5)
+        assert sum(item.fraction for item in report) <= 1.0 + 1e-9
+
+    def test_cardinality_features_matter(self, model):
+        """Input cardinality features must be among the most-used."""
+        report = feature_importance_report(model, top=15)
+        names = {item.name for item in report}
+        assert any("card" in name or "percentage" in name for name in names)
+
+    def test_format_table(self, model):
+        text = format_importance_table(feature_importance_report(model, 5))
+        assert "feature" in text and "%" in text
+
+
+class TestErrorBreakdown:
+    def test_by_group(self, model, toy_workload):
+        breakdown = error_breakdown(model, toy_workload,
+                                    key=lambda q: q.group)
+        assert len(breakdown) == len({q.group for q in toy_workload})
+        total = sum(summary.count for summary in breakdown.values())
+        assert total == len(toy_workload)
+
+    def test_by_runtime_bucket(self, model, toy_workload):
+        breakdown = error_breakdown(model, toy_workload, key=runtime_bucket)
+        assert all(name.startswith("1e") for name in breakdown)
+
+
+class TestExplanation:
+    def test_explanation_matches_prediction(self, model, toy_workload):
+        dataset = build_dataset(toy_workload[:4])
+        vector = dataset.X[0]
+        explanation = explain_prediction(model, vector)
+        raw = model.predict_raw_one(vector)
+        assert explanation.raw_prediction == pytest.approx(raw, rel=1e-9)
+        assert len(explanation.tree_contributions) == model.booster.n_trees
+
+    def test_touched_features_used_by_model(self, model, toy_workload):
+        dataset = build_dataset(toy_workload[:4])
+        explanation = explain_prediction(model, dataset.X[0])
+        names = set(model.registry.feature_names())
+        assert set(explanation.feature_touches) <= names
+        assert explanation.top_features(3)
+
+    def test_paths_collected_on_request(self, model, toy_workload):
+        dataset = build_dataset(toy_workload[:4])
+        explanation = explain_prediction(model, dataset.X[0],
+                                         collect_paths=True)
+        assert len(explanation.paths) == model.booster.n_trees
+        step = explanation.paths[0][0]
+        assert step.went_left == (step.value <= step.threshold)
+
+    def test_wrong_size_rejected(self, model):
+        with pytest.raises(TrainingError):
+            explain_prediction(model, np.zeros(3))

@@ -1,0 +1,151 @@
+"""Tests for the T3 model: training, prediction, persistence, ablations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.trees.boosting import BoostingParams
+from repro.core.ablation import TargetMode
+from repro.core.dataset import CardinalityKind, build_dataset, cardinality_model_for
+from repro.core.model import PredictionBackend, T3Config, T3Model
+from repro.engine.cardinality import ExactCardinalityModel
+
+
+def _fast_config(**kwargs) -> T3Config:
+    defaults = dict(
+        boosting=BoostingParams(n_rounds=30, objective="mape",
+                                validation_fraction=0.2),
+        compile_to_native=True)
+    defaults.update(kwargs)
+    return T3Config(**defaults)
+
+
+@pytest.fixture(scope="module")
+def toy_model(request):
+    workload = request.getfixturevalue("toy_workload")
+    return T3Model.train(workload, _fast_config())
+
+
+@pytest.fixture(scope="module")
+def toy_workload():
+    from tests.conftest import build_toy_instance
+    from repro.datagen.workload import WorkloadBuilder, WorkloadConfig
+    config = WorkloadConfig(queries_per_structure=3,
+                            include_fixed_benchmarks=False)
+    return WorkloadBuilder(build_toy_instance(), config).build()
+
+
+@pytest.fixture(scope="module")
+def exact_model(toy_workload):
+    return ExactCardinalityModel(toy_workload[0].catalog)
+
+
+class TestTraining:
+    def test_trains_and_fits_training_set(self, toy_model, toy_workload):
+        summary = toy_model.evaluate(toy_workload)
+        assert summary.p50 < 2.0
+        assert summary.count == len(toy_workload)
+
+    def test_compiled_by_default(self, toy_model):
+        assert toy_model.is_compiled
+        assert toy_model.backend is PredictionBackend.COMPILED
+
+    def test_reproducible(self, toy_workload):
+        a = T3Model.train(toy_workload, _fast_config(compile_to_native=False))
+        b = T3Model.train(toy_workload, _fast_config(compile_to_native=False))
+        dataset = build_dataset(toy_workload)
+        assert np.allclose(a.predict_dataset(dataset),
+                           b.predict_dataset(dataset))
+
+
+class TestPrediction:
+    def test_query_prediction_is_pipeline_sum(self, toy_model, toy_workload,
+                                              exact_model):
+        query = toy_workload[0]
+        pipeline_times = toy_model.predict_pipeline_times(
+            query.plan, exact_model)
+        total = toy_model.predict_query(query.plan, exact_model)
+        assert total == pytest.approx(pipeline_times.sum())
+        assert len(pipeline_times) == query.n_pipelines
+
+    def test_predictions_positive(self, toy_model, toy_workload, exact_model):
+        for query in toy_workload[:20]:
+            assert toy_model.predict_query(query.plan, exact_model) > 0
+
+    def test_backends_agree(self, toy_model, toy_workload, exact_model):
+        query = toy_workload[0]
+        compiled = toy_model.predict_query(query.plan, exact_model)
+        toy_model.use_backend(PredictionBackend.INTERPRETED)
+        try:
+            interpreted = toy_model.predict_query(query.plan, exact_model)
+        finally:
+            toy_model.use_backend(PredictionBackend.COMPILED)
+        assert compiled == pytest.approx(interpreted, rel=1e-10)
+
+    def test_batch_matches_single(self, toy_model, toy_workload, exact_model):
+        dataset = build_dataset(toy_workload[:10])
+        batch = toy_model.predict_dataset(dataset)
+        singles = [toy_model.predict_query(q.plan, exact_model)
+                   for q in toy_workload[:10]]
+        assert np.allclose(batch, singles, rtol=1e-9)
+
+    def test_predict_benchmarked(self, toy_model, toy_workload):
+        value = toy_model.predict_benchmarked(toy_workload[0])
+        assert value > 0
+
+
+class TestAblationModes:
+    def test_per_pipeline_mode(self, toy_workload, exact_model):
+        model = T3Model.train(toy_workload, _fast_config(
+            target_mode=TargetMode.PER_PIPELINE, compile_to_native=False))
+        query = toy_workload[0]
+        times = model.predict_pipeline_times(query.plan, exact_model)
+        assert len(times) == query.n_pipelines
+        assert (times > 0).all()
+
+    def test_per_query_mode(self, toy_workload, exact_model):
+        model = T3Model.train(toy_workload, _fast_config(
+            target_mode=TargetMode.PER_QUERY, compile_to_native=False))
+        query = toy_workload[0]
+        assert model.predict_query(query.plan, exact_model) > 0
+        with pytest.raises(TrainingError):
+            model.predict_pipeline_times(query.plan, exact_model)
+
+    def test_per_tuple_beats_per_query_on_scale_generalization(
+            self, toy_workload):
+        """The core claim of Figure 13, on the toy workload."""
+        per_tuple = T3Model.train(toy_workload, _fast_config(
+            compile_to_native=False))
+        per_query = T3Model.train(toy_workload, _fast_config(
+            target_mode=TargetMode.PER_QUERY, compile_to_native=False))
+        tuple_error = per_tuple.evaluate(toy_workload)
+        query_error = per_query.evaluate(toy_workload)
+        assert tuple_error.mean <= query_error.mean * 1.5
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, toy_model, toy_workload, tmp_path):
+        path = tmp_path / "model.json"
+        toy_model.save(path)
+        loaded = T3Model.load(path, compile_to_native=False)
+        dataset = build_dataset(toy_workload[:5])
+        assert np.allclose(toy_model.predict_dataset(dataset),
+                           loaded.predict_dataset(dataset), rtol=1e-9)
+        assert loaded.config.target_mode is toy_model.config.target_mode
+
+    def test_close_releases_compiled(self, toy_workload):
+        model = T3Model.train(toy_workload[:8], _fast_config())
+        model.close()  # must not raise
+
+
+class TestEvaluationRegimes:
+    def test_estimated_cardinalities_degrade(self, toy_model, toy_workload):
+        exact = toy_model.evaluate(toy_workload, kind=CardinalityKind.EXACT)
+        estimated = toy_model.evaluate(toy_workload,
+                                       kind=CardinalityKind.ESTIMATED)
+        assert estimated.mean >= exact.mean * 0.9
+
+    def test_distortion_degrades_monotonically(self, toy_model, toy_workload):
+        errors = [toy_model.evaluate(toy_workload, distortion=d).p50
+                  for d in (1.0, 10.0, 100.0)]
+        assert errors[-1] > errors[0]

@@ -1,0 +1,117 @@
+"""Tests for the fixed benchmark suites (TPC-H, TPC-DS, JOB)."""
+
+import pytest
+
+from repro.engine.logical import LogicalGroupBy, LogicalNode, count_joins
+from repro.engine.optimizer import Optimizer
+from repro.engine.pipelines import decompose_into_pipelines
+from repro.datagen.instances import get_instance
+from repro.datagen.benchmarks_job import job_family_blocks, job_queries
+from repro.datagen.benchmarks_tpcds import tpcds_queries
+from repro.datagen.benchmarks_tpch import tpch_queries
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return get_instance("tpch_sf1")
+
+
+@pytest.fixture(scope="module")
+def tpcds():
+    return get_instance("tpcds_sf1")
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return get_instance("imdb")
+
+
+class TestTPCH:
+    def test_22_queries(self, tpch):
+        queries = tpch_queries(tpch)
+        assert len(queries) == 22
+        assert [name for name, _ in queries][:3] == [
+            "tpch_q1", "tpch_q2", "tpch_q3"]
+
+    def test_all_queries_optimize_and_decompose(self, tpch):
+        optimizer = Optimizer(tpch.schema, tpch.catalog)
+        for name, logical in tpch_queries(tpch):
+            plan = optimizer.optimize(logical, name)
+            pipelines = decompose_into_pipelines(plan)
+            assert pipelines, name
+
+    def test_q5_small_table_elimination(self, tpch):
+        """The paper's running example: nation/region joins disappear."""
+        from repro.datagen.benchmarks_tpch import tpch_query
+        optimizer = Optimizer(tpch.schema, tpch.catalog)
+        plan = optimizer.optimize(tpch_query("tpch_q5", tpch))
+        assert "nation" not in plan.base_tables()
+        assert "region" not in plan.base_tables()
+
+    def test_q6_is_single_table(self, tpch):
+        from repro.datagen.benchmarks_tpch import tpch_query
+        logical = tpch_query("tpch_q6", tpch)
+        assert set(logical.tables()) == {"lineitem"}
+        assert count_joins(logical) == 0
+
+    def test_join_counts_plausible(self, tpch):
+        counts = {name: count_joins(logical)
+                  for name, logical in tpch_queries(tpch)}
+        assert counts["tpch_q8"] >= 6  # the deepest join chain
+        assert max(counts.values()) <= 8
+
+    def test_works_on_other_scale_factors(self):
+        big = get_instance("tpch_sf100")
+        queries = tpch_queries(big)
+        assert len(queries) == 22
+
+
+class TestTPCDS:
+    def test_100_queries(self, tpcds):
+        assert len(tpcds_queries(tpcds)) == 100
+
+    def test_all_optimize(self, tpcds):
+        optimizer = Optimizer(tpcds.schema, tpcds.catalog)
+        for name, logical in tpcds_queries(tpcds):
+            plan = optimizer.optimize(logical, name)
+            assert decompose_into_pipelines(plan)
+
+    def test_deterministic(self, tpcds):
+        a = tpcds_queries(tpcds)
+        b = tpcds_queries(tpcds)
+        for (name_a, plan_a), (name_b, plan_b) in zip(a, b):
+            assert name_a == name_b
+            assert plan_a.tables() == plan_b.tables()
+
+    def test_structural_diversity(self, tpcds):
+        signatures = {tuple(sorted(set(logical.tables())))
+                      for _, logical in tpcds_queries(tpcds)}
+        assert len(signatures) >= 10
+
+
+class TestJOB:
+    def test_113_queries_33_families(self, imdb):
+        queries = job_queries(imdb)
+        assert len(queries) == 113
+        families = {name.rstrip("abcd") for name, _ in queries}
+        assert len(families) == 33
+
+    def test_all_aggregate_to_single_row(self, imdb):
+        for name, logical in job_queries(imdb):
+            assert isinstance(logical, LogicalGroupBy)
+            assert logical.group_columns == []
+
+    def test_join_counts_match_job_range(self, imdb):
+        counts = [count_joins(logical) for _, logical in job_queries(imdb)]
+        assert min(counts) >= 1
+        assert max(counts) >= 5
+
+    def test_all_optimize(self, imdb):
+        optimizer = Optimizer(imdb.schema, imdb.catalog)
+        for name, logical in job_queries(imdb):
+            plan = optimizer.optimize(logical, name)
+            assert decompose_into_pipelines(plan)
+
+    def test_family_blocks_connected(self, imdb):
+        """Every family's table set must form a connected join graph."""
+        assert len(job_family_blocks()) == 33

@@ -1,0 +1,72 @@
+"""Tests for the 21-instance corpus."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.datagen.instances import (
+    all_instance_names,
+    get_instance,
+    instance_families,
+)
+
+
+class TestCorpus:
+    def test_exactly_21_instances(self):
+        assert len(all_instance_names()) == 21
+
+    def test_all_build_with_complete_statistics(self):
+        for name in all_instance_names():
+            instance = get_instance(name)
+            instance.catalog.validate_complete()
+            assert instance.schema.table_names
+
+    def test_instances_cached(self):
+        assert get_instance("imdb") is get_instance("imdb")
+
+    def test_unknown_instance(self):
+        with pytest.raises(SchemaError):
+            get_instance("nonexistent")
+
+    def test_scale_factor_families(self):
+        families = instance_families()
+        assert "tpch" in families and "tpcds" in families
+        # 21 instances collapse into 17 families (3 tpch + 3 tpcds scales).
+        assert len(families) == 17
+
+    def test_scale_factors_scale_rows(self):
+        sf1 = get_instance("tpch_sf1").catalog.row_count("lineitem")
+        sf10 = get_instance("tpch_sf10").catalog.row_count("lineitem")
+        assert sf10 == 10 * sf1
+
+    def test_join_edges_reference_valid_columns(self):
+        for name in all_instance_names():
+            schema = get_instance(name).schema
+            for edge in schema.join_edges:
+                schema.table(edge.left_table).column(edge.left_column)
+                schema.table(edge.right_table).column(edge.right_column)
+
+    def test_tpch_shape(self):
+        instance = get_instance("tpch_sf1")
+        assert set(instance.schema.table_names) >= {
+            "lineitem", "orders", "customer", "part", "supplier",
+            "partsupp", "nation", "region"}
+        assert instance.catalog.row_count("lineitem") == 6_000_000
+        assert instance.catalog.row_count("region") == 5
+
+    def test_imdb_shape(self):
+        instance = get_instance("imdb")
+        assert "cast_info" in instance.schema.table_names
+        assert instance.catalog.row_count("cast_info") > 30_000_000
+
+    def test_synthetic_instances_deterministic(self):
+        from repro.datagen.instances import _build_synthetic
+        a = _build_synthetic("financial")
+        b = _build_synthetic("financial")
+        assert a.schema.table_names == b.schema.table_names
+        for table in a.schema.table_names:
+            assert a.catalog.row_count(table) == b.catalog.row_count(table)
+
+    def test_every_instance_has_joinable_tables(self):
+        for name in all_instance_names():
+            schema = get_instance(name).schema
+            assert schema.join_edges, f"{name} has no join edges"

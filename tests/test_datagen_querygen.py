@@ -1,0 +1,156 @@
+"""Tests for the random query generator and structure groups."""
+
+import pytest
+
+from repro.engine.logical import (
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalNode,
+    LogicalScan,
+    LogicalSort,
+    LogicalTopK,
+    LogicalWindow,
+    count_joins,
+)
+from repro.datagen.instances import get_instance
+from repro.datagen.querygen import RandomQueryGenerator
+from repro.datagen.structures import QUERY_STRUCTURES, structure_by_name
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return RandomQueryGenerator(get_instance("tpch_sf1"), seed=11)
+
+
+class TestStructures:
+    def test_sixteen_structures(self):
+        assert len(QUERY_STRUCTURES) == 16
+
+    def test_unique_names(self):
+        names = [s.name for s in QUERY_STRUCTURES]
+        assert len(set(names)) == 16
+
+    def test_lookup(self):
+        assert structure_by_name("SeJSiA").aggregation == "simple"
+        with pytest.raises(KeyError):
+            structure_by_name("nope")
+
+
+class TestGeneration:
+    def test_deterministic(self, generator):
+        structure = structure_by_name("SeJA")
+        a = generator.generate(structure, 3)
+        b = generator.generate(structure, 3)
+        assert a.tables() == b.tables()
+
+    def test_different_indices_differ(self, generator):
+        structure = structure_by_name("SeJA")
+        plans = [generator.generate(structure, i) for i in range(6)]
+        signatures = {tuple(sorted(p.tables())) + (count_joins(p),)
+                      for p in plans}
+        assert len(signatures) > 1
+
+    def test_join_counts_respect_structure(self, generator):
+        structure = structure_by_name("J")
+        for i in range(8):
+            plan = generator.generate(structure, i)
+            assert structure.joins[0] <= count_joins(plan) \
+                <= structure.joins[1]
+
+    def test_selection_free_structures_have_no_predicates(self, generator):
+        structure = structure_by_name("J")
+        for i in range(5):
+            plan = generator.generate(structure, i)
+            for node in plan.walk():
+                if isinstance(node, LogicalScan):
+                    assert not node.predicates
+
+    def test_simple_aggregation_structure(self, generator):
+        structure = structure_by_name("SiA")
+        plan = generator.generate(structure, 0)
+        assert isinstance(plan, LogicalGroupBy)
+        assert plan.group_columns == []
+
+    def test_group_aggregation_structure(self, generator):
+        structure = structure_by_name("A")
+        plan = generator.generate(structure, 0)
+        assert isinstance(plan, LogicalGroupBy)
+        assert plan.group_columns
+
+    def test_window_structure(self, generator):
+        structure = structure_by_name("W")
+        plan = generator.generate(structure, 0)
+        assert any(isinstance(n, LogicalWindow) for n in plan.walk())
+
+    def test_all_structure_adds_order(self, generator):
+        structure = structure_by_name("All")
+        plan = generator.generate(structure, 0)
+        assert isinstance(plan, (LogicalSort, LogicalTopK))
+
+    def test_joins_follow_schema_edges(self, generator):
+        schema = get_instance("tpch_sf1").schema
+        structure = structure_by_name("SeJ")
+        for i in range(6):
+            plan = generator.generate(structure, i)
+            for node in plan.walk():
+                if isinstance(node, LogicalJoin):
+                    assert schema.edge_between(
+                        node.edge.left_table, node.edge.right_table) is not None
+
+    def test_all_structures_on_all_instance_kinds(self):
+        """Every structure generates on a synthetic and a real schema."""
+        for instance_name in ("financial", "imdb"):
+            generator = RandomQueryGenerator(get_instance(instance_name),
+                                             seed=2)
+            for structure in QUERY_STRUCTURES:
+                plan = generator.generate(structure, 0)
+                assert isinstance(plan, LogicalNode)
+
+    def test_batch(self, generator):
+        structure = structure_by_name("Se")
+        plans = generator.generate_batch(structure, 4)
+        assert len(plans) == 4
+
+
+class TestExtendedOperators:
+    def test_default_off_reproduces_legacy_queries(self):
+        base = RandomQueryGenerator(get_instance("tpch_sf1"), seed=11)
+        extended_off = RandomQueryGenerator(get_instance("tpch_sf1"),
+                                            seed=11,
+                                            extended_operators=False)
+        structure = structure_by_name("SeJA")
+        assert base.generate(structure, 2).tables() == \
+            extended_off.generate(structure, 2).tables()
+
+    def test_extended_mixes_semi_anti_and_distinct(self):
+        from repro.engine.logical import LogicalDistinct
+        generator = RandomQueryGenerator(get_instance("tpch_sf1"), seed=4,
+                                         extended_operators=True)
+        kinds = set()
+        has_distinct = False
+        for structure_name in ("SeJ", "J", "CSeJ", "SeJSiA"):
+            structure = structure_by_name(structure_name)
+            for index in range(20):
+                plan = generator.generate(structure, index)
+                for node in plan.walk():
+                    if isinstance(node, LogicalJoin):
+                        kinds.add(node.kind)
+                    if isinstance(node, LogicalDistinct):
+                        has_distinct = True
+        assert "semi" in kinds or "anti" in kinds
+        assert has_distinct
+
+    def test_extended_queries_optimize_and_simulate(self):
+        from repro.engine.optimizer import Optimizer
+        from repro.engine.simulator import ExecutionSimulator
+        instance = get_instance("tpch_sf1")
+        generator = RandomQueryGenerator(instance, seed=4,
+                                         extended_operators=True)
+        optimizer = Optimizer(instance.schema, instance.catalog)
+        simulator = ExecutionSimulator(instance.catalog)
+        for structure_name in ("SeJ", "SeJSiA"):
+            structure = structure_by_name(structure_name)
+            for index in range(6):
+                logical = generator.generate(structure, index)
+                plan = optimizer.optimize(logical, f"ext_{index}")
+                assert simulator.query_time(plan) > 0

@@ -1,0 +1,72 @@
+"""Tests for concrete data generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.datagen.instances import get_instance
+from repro.datagen.tablegen import generate_table_store
+
+
+class TestTableGen:
+    def test_full_scale_row_counts(self, toy_instance):
+        store = generate_table_store(toy_instance, scale_fraction=1.0)
+        for table in toy_instance.schema.table_names:
+            assert store.row_count(table) == \
+                toy_instance.catalog.row_count(table)
+
+    def test_scaling(self, toy_instance):
+        store = generate_table_store(toy_instance, scale_fraction=0.1)
+        assert store.row_count("orders") == pytest.approx(
+            toy_instance.catalog.row_count("orders") * 0.1, rel=0.01)
+
+    def test_primary_keys_dense_unique(self, toy_instance):
+        store = generate_table_store(toy_instance, scale_fraction=0.3)
+        keys = store.columns("customer")["c_id"]
+        assert len(np.unique(keys)) == len(keys)
+        assert keys.min() == 1 and keys.max() == len(keys)
+
+    def test_foreign_keys_within_scaled_parent(self, toy_instance):
+        store = generate_table_store(toy_instance, scale_fraction=0.2)
+        fk = store.columns("orders")["o_cust"]
+        assert fk.max() <= store.row_count("customer")
+        assert fk.min() >= 1
+
+    def test_max_rows_cap(self, toy_instance):
+        store = generate_table_store(toy_instance, scale_fraction=1.0,
+                                     max_rows_per_table=100)
+        assert store.row_count("orders") == 100
+        # Foreign keys still stay within the capped parent domain.
+        assert store.columns("orders")["o_cust"].max() <= 100
+
+    def test_deterministic(self, toy_instance):
+        a = generate_table_store(toy_instance, 0.1, seed=4)
+        b = generate_table_store(toy_instance, 0.1, seed=4)
+        assert np.array_equal(a.columns("orders")["o_total"],
+                              b.columns("orders")["o_total"])
+
+    def test_seed_changes_data(self, toy_instance):
+        a = generate_table_store(toy_instance, 0.1, seed=4)
+        b = generate_table_store(toy_instance, 0.1, seed=5)
+        assert not np.array_equal(a.columns("orders")["o_total"],
+                                  b.columns("orders")["o_total"])
+
+    def test_distribution_respected(self, toy_instance):
+        store = generate_table_store(toy_instance, scale_fraction=1.0)
+        totals = store.columns("orders")["o_total"]
+        dist = toy_instance.catalog.column_stats(
+            "orders", "o_total").distribution
+        observed = (totals <= 5000).mean()
+        assert observed == pytest.approx(dist.selectivity_le(5000), abs=0.02)
+
+    def test_invalid_fraction(self, toy_instance):
+        with pytest.raises(SchemaError):
+            generate_table_store(toy_instance, scale_fraction=0.0)
+        with pytest.raises(SchemaError):
+            generate_table_store(toy_instance, scale_fraction=1.5)
+
+    def test_corpus_instance_small_scale(self):
+        instance = get_instance("tpch_sf1")
+        store = generate_table_store(instance, scale_fraction=0.001)
+        assert store.row_count("lineitem") == 6000
+        assert store.row_count("region") >= 1

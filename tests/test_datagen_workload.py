@@ -1,0 +1,101 @@
+"""Tests for workload assembly and benchmarking."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.instances import get_instance
+from repro.datagen.workload import (
+    FIXED_GROUP,
+    WorkloadBuilder,
+    WorkloadConfig,
+    build_corpus_workload,
+    workload_statistics,
+)
+from repro.datagen.structures import QUERY_STRUCTURES
+
+
+class TestWorkloadBuilder:
+    def test_generated_counts(self, toy_instance):
+        config = WorkloadConfig(queries_per_structure=2,
+                                include_fixed_benchmarks=False)
+        queries = WorkloadBuilder(toy_instance, config).build()
+        assert len(queries) == 2 * len(QUERY_STRUCTURES)
+        groups = {q.group for q in queries}
+        assert groups == {s.name for s in QUERY_STRUCTURES}
+
+    def test_fixed_suite_included_for_tpch(self):
+        config = WorkloadConfig(queries_per_structure=1)
+        queries = WorkloadBuilder(get_instance("tpch_sf1"), config).build()
+        fixed = [q for q in queries if q.group == FIXED_GROUP]
+        assert len(fixed) == 22
+
+    def test_no_fixed_suite_for_synthetic(self):
+        config = WorkloadConfig(queries_per_structure=1)
+        queries = WorkloadBuilder(get_instance("financial"), config).build()
+        assert all(q.group != FIXED_GROUP for q in queries)
+
+    def test_metadata(self, toy_workload):
+        query = toy_workload[0]
+        assert query.instance_name == "toy"
+        assert query.family == "toy"
+        assert query.n_pipelines == len(query.pipelines)
+        assert query.median_time > 0
+
+    def test_pipeline_targets_shape(self, toy_workload):
+        for query in toy_workload[:10]:
+            targets = query.pipeline_targets()
+            assert len(targets) == query.n_pipelines
+            assert np.all(targets > 0)
+            fewer_runs = query.pipeline_targets(n_runs=3)
+            assert len(fewer_runs) == query.n_pipelines
+
+    def test_reproducible(self, toy_instance):
+        config = WorkloadConfig(queries_per_structure=2,
+                                include_fixed_benchmarks=False)
+        a = WorkloadBuilder(toy_instance, config).build()
+        b = WorkloadBuilder(toy_instance, config).build()
+        assert [q.median_time for q in a] == [q.median_time for q in b]
+
+    def test_corpus_builder(self):
+        config = WorkloadConfig(queries_per_structure=1,
+                                include_fixed_benchmarks=False)
+        queries = build_corpus_workload(["financial", "hepatitis"], config)
+        instances = {q.instance_name for q in queries}
+        assert instances == {"financial", "hepatitis"}
+
+    def test_statistics(self, toy_workload):
+        stats = workload_statistics(toy_workload)
+        assert stats["n_queries"] == len(toy_workload)
+        assert stats["min_time"] <= stats["median_time"] <= stats["max_time"]
+        assert stats["mean_pipelines"] >= 1
+
+
+class TestRuntimeDistribution:
+    def test_wide_dynamic_range(self):
+        """Figure 6: running times span many orders of magnitude."""
+        config = WorkloadConfig(queries_per_structure=4,
+                                include_fixed_benchmarks=False)
+        queries = WorkloadBuilder(get_instance("tpch_sf10"), config).build()
+        times = np.array([q.median_time for q in queries])
+        assert times.max() / times.min() > 1e3
+
+
+class TestExtendedWorkloads:
+    def test_extended_workload_builds_and_benchmarks(self, toy_instance):
+        config = WorkloadConfig(queries_per_structure=2,
+                                include_fixed_benchmarks=False,
+                                extended_operators=True)
+        queries = WorkloadBuilder(toy_instance, config).build()
+        assert len(queries) == 2 * len(QUERY_STRUCTURES)
+        assert all(q.median_time > 0 for q in queries)
+
+    def test_extended_workload_trains_t3(self, toy_instance):
+        from repro.core.model import T3Config, T3Model
+        from repro.trees.boosting import BoostingParams
+        config = WorkloadConfig(queries_per_structure=2,
+                                include_fixed_benchmarks=False,
+                                extended_operators=True)
+        queries = WorkloadBuilder(toy_instance, config).build()
+        model = T3Model.train(queries, T3Config(
+            boosting=BoostingParams(n_rounds=15), compile_to_native=False))
+        assert model.evaluate(queries).p50 < 5.0

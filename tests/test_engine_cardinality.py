@@ -1,0 +1,215 @@
+"""Tests for exact / estimated / distorted cardinality models."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cardinality import (
+    DistortedCardinalityModel,
+    EstimatedCardinalityModel,
+    ExactCardinalityModel,
+    cardenas,
+)
+from repro.engine.expressions import (
+    Aggregate,
+    AggregateFunction,
+    ComparisonOp,
+    ComparisonPredicate,
+)
+from repro.engine.logical import (
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.engine.optimizer import Optimizer, OptimizerConfig
+
+
+@pytest.fixture
+def optimizer(toy_instance):
+    return Optimizer(toy_instance.schema, toy_instance.catalog,
+                     OptimizerConfig(enable_small_table_elimination=False,
+                                     enable_index_nl_join=False))
+
+
+@pytest.fixture
+def exact(toy_instance):
+    return ExactCardinalityModel(toy_instance.catalog)
+
+
+@pytest.fixture
+def estimated(toy_instance):
+    return EstimatedCardinalityModel(toy_instance.catalog)
+
+
+def _edge(toy_instance, left, right):
+    return toy_instance.schema.edge_between(left, right)
+
+
+class TestCardenas:
+    def test_small_cases(self):
+        assert cardenas(1, 100) == 1.0
+        assert cardenas(10, 0) == 0.0
+        # With n >> d, nearly all distinct values appear.
+        assert cardenas(10, 10_000) == pytest.approx(10.0, rel=1e-3)
+
+    def test_monotone_in_rows(self):
+        values = [cardenas(1000, n) for n in (10, 100, 1000, 10_000)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_distinct(self):
+        assert cardenas(50, 10_000) <= 50.0
+
+
+class TestScans:
+    def test_unfiltered_scan(self, optimizer, exact, toy_instance):
+        plan = optimizer.optimize(LogicalScan("orders"))
+        assert exact.output_cardinality(plan.root) == \
+            toy_instance.catalog.row_count("orders")
+
+    def test_filter_selectivity(self, optimizer, exact):
+        plan = optimizer.optimize(LogicalScan("orders", [
+            ComparisonPredicate("orders", "o_total", ComparisonOp.LE, 1000)]))
+        assert exact.output_cardinality(plan.root) == pytest.approx(
+            5000, rel=0.02)
+
+    def test_correlation_factor_applies_to_truth_only(
+            self, optimizer, exact, estimated):
+        predicates = [
+            ComparisonPredicate("orders", "o_total", ComparisonOp.LE, 5000),
+            ComparisonPredicate("orders", "o_date", ComparisonOp.LE, 9000)]
+        correlated = optimizer.optimize(
+            LogicalScan("orders", predicates, correlation_factor=1.8))
+        independent = optimizer.optimize(
+            LogicalScan("orders", predicates, correlation_factor=1.0))
+        assert exact.output_cardinality(correlated.root) == pytest.approx(
+            1.8 * exact.output_cardinality(independent.root))
+        assert estimated.output_cardinality(correlated.root) == pytest.approx(
+            estimated.output_cardinality(independent.root))
+
+
+class TestJoins:
+    def test_fk_join_preserves_fact_side(self, optimizer, exact,
+                                         toy_instance):
+        logical = LogicalJoin(LogicalScan("customer"), LogicalScan("orders"),
+                              _edge(toy_instance, "customer", "orders"))
+        plan = optimizer.optimize(logical)
+        n_orders = toy_instance.catalog.row_count("orders")
+        assert exact.output_cardinality(plan.root) == pytest.approx(
+            n_orders, rel=0.01)
+
+    def test_filtered_dimension_scales_join(self, optimizer, exact,
+                                            toy_instance):
+        filtered = LogicalScan("customer", [ComparisonPredicate(
+            "customer", "c_balance", ComparisonOp.LE, 4500)])
+        logical = LogicalJoin(filtered, LogicalScan("orders"),
+                              _edge(toy_instance, "customer", "orders"))
+        plan = optimizer.optimize(logical)
+        n_orders = toy_instance.catalog.row_count("orders")
+        assert exact.output_cardinality(plan.root) == pytest.approx(
+            n_orders / 2, rel=0.05)
+
+    def test_semi_join_bounded_by_probe(self, optimizer, exact, toy_instance):
+        logical = LogicalJoin(LogicalScan("customer"), LogicalScan("orders"),
+                              _edge(toy_instance, "customer", "orders"),
+                              kind="semi")
+        plan = optimizer.optimize(logical)
+        n_orders = toy_instance.catalog.row_count("orders")
+        semi = exact.output_cardinality(plan.root)
+        assert 0 < semi <= n_orders
+
+    def test_anti_join_complements_semi(self, optimizer, exact, toy_instance):
+        """semi(probe) + anti(probe) must equal the probe cardinality."""
+        edge = _edge(toy_instance, "customer", "orders")
+        semi = optimizer.optimize(LogicalJoin(
+            LogicalScan("customer"), LogicalScan("orders"), edge, kind="semi"))
+        anti = optimizer.optimize(LogicalJoin(
+            LogicalScan("customer"), LogicalScan("orders"), edge, kind="anti"))
+        total = (exact.output_cardinality(semi.root)
+                 + exact.output_cardinality(anti.root))
+        probe = exact.output_cardinality(semi.root.probe_child)
+        assert total == pytest.approx(probe, rel=0.01)
+
+    def test_estimated_misses_fanout(self, toy_instance, optimizer,
+                                     estimated, exact):
+        edge = _edge(toy_instance, "customer", "orders")
+        fanned = type(edge)(edge.left_table, edge.left_column,
+                            edge.right_table, edge.right_column, fanout=3.0)
+        logical = LogicalJoin(LogicalScan("customer"), LogicalScan("orders"),
+                              fanned)
+        plan = optimizer.optimize(logical)
+        assert exact.output_cardinality(plan.root) > \
+            1.5 * estimated.output_cardinality(plan.root)
+
+
+class TestAggregatesAndLimits:
+    def test_group_count_respects_domain_filter(self, optimizer, exact):
+        logical = LogicalGroupBy(
+            LogicalScan("customer", [ComparisonPredicate(
+                "customer", "c_nation", ComparisonOp.LE, 5)]),
+            [("customer", "c_nation")],
+            [Aggregate(AggregateFunction.COUNT)])
+        plan = optimizer.optimize(logical)
+        assert exact.output_cardinality(plan.root) == pytest.approx(6, abs=1)
+
+    def test_simple_agg_is_one(self, optimizer, exact):
+        logical = LogicalGroupBy(LogicalScan("orders"), [],
+                                 [Aggregate(AggregateFunction.COUNT)])
+        plan = optimizer.optimize(logical)
+        assert exact.output_cardinality(plan.root) == 1.0
+
+    def test_limit_caps(self, optimizer, exact):
+        logical = LogicalLimit(
+            LogicalSort(LogicalScan("orders"), [("orders", "o_total")]), 7)
+        plan = optimizer.optimize(logical)
+        assert exact.output_cardinality(plan.root) == 7.0
+
+    def test_memoization_reset(self, optimizer, exact):
+        plan = optimizer.optimize(LogicalScan("orders"))
+        first = exact.output_cardinality(plan.root)
+        exact.reset()
+        assert exact.output_cardinality(plan.root) == first
+
+
+class TestDistorted:
+    def test_identity_at_factor_one(self, optimizer, exact, toy_instance):
+        plan = optimizer.optimize(LogicalScan("orders", [ComparisonPredicate(
+            "orders", "o_total", ComparisonOp.LE, 1000)]))
+        distorted = DistortedCardinalityModel(
+            ExactCardinalityModel(toy_instance.catalog), 1.0)
+        assert distorted.output_cardinality(plan.root) == pytest.approx(
+            exact.output_cardinality(plan.root))
+
+    def test_distortion_within_bounds(self, optimizer, toy_instance):
+        plan = optimizer.optimize(LogicalScan("orders", [ComparisonPredicate(
+            "orders", "o_total", ComparisonOp.LE, 1000)]))
+        base = ExactCardinalityModel(toy_instance.catalog)
+        truth = base.output_cardinality(plan.root)
+        for factor in (2.0, 10.0, 100.0):
+            distorted = DistortedCardinalityModel(
+                ExactCardinalityModel(toy_instance.catalog), factor, seed=1)
+            value = distorted.output_cardinality(plan.root)
+            assert truth / factor <= value <= truth * factor
+
+    def test_base_tables_not_distorted(self, optimizer, toy_instance):
+        plan = optimizer.optimize(LogicalScan("orders"))
+        distorted = DistortedCardinalityModel(
+            ExactCardinalityModel(toy_instance.catalog), 1000.0, seed=2)
+        assert distorted.output_cardinality(plan.root) == \
+            toy_instance.catalog.row_count("orders")
+
+    def test_deterministic_per_seed(self, optimizer, toy_instance):
+        plan = optimizer.optimize(LogicalScan("orders", [ComparisonPredicate(
+            "orders", "o_total", ComparisonOp.LE, 1000)]))
+        values = []
+        for _ in range(2):
+            model = DistortedCardinalityModel(
+                ExactCardinalityModel(toy_instance.catalog), 10.0, seed=5)
+            values.append(model.output_cardinality(plan.root))
+        assert values[0] == values[1]
+
+    def test_invalid_factor(self, toy_instance):
+        from repro.errors import CardinalityError
+        with pytest.raises(CardinalityError):
+            DistortedCardinalityModel(
+                ExactCardinalityModel(toy_instance.catalog), 0.5)

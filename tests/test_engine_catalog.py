@@ -1,0 +1,74 @@
+"""Tests for the statistics catalog."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.engine.catalog import Catalog
+from repro.engine.distributions import UniformInt
+from repro.engine.schema import Column, DatabaseSchema, TableSchema
+from repro.engine.types import DataType
+
+
+def _schema():
+    return DatabaseSchema("db", [
+        TableSchema("t", [Column("a", DataType.INT),
+                          Column("b", DataType.INT)])])
+
+
+class TestCatalog:
+    def test_roundtrip(self):
+        catalog = Catalog(_schema())
+        catalog.set_table_stats("t", 100)
+        catalog.set_column_distribution("t", "a", UniformInt(1, 10))
+        assert catalog.row_count("t") == 100
+        assert catalog.column_stats("t", "a").true_distinct == 10
+        assert catalog.has_column_stats("t", "a")
+        assert not catalog.has_column_stats("t", "b")
+
+    def test_estimated_distinct_is_perturbed_truth(self):
+        catalog = Catalog(_schema(), seed=3)
+        catalog.set_column_distribution("t", "a", UniformInt(1, 1000))
+        stats = catalog.column_stats("t", "a")
+        assert stats.estimated_distinct != stats.true_distinct
+        assert 0.3 * stats.true_distinct < stats.estimated_distinct \
+            < 3.0 * stats.true_distinct
+
+    def test_estimation_error_deterministic(self):
+        a = Catalog(_schema(), seed=9)
+        b = Catalog(_schema(), seed=9)
+        for catalog in (a, b):
+            catalog.set_column_distribution("t", "a", UniformInt(1, 500))
+        assert (a.column_stats("t", "a").estimated_distinct
+                == b.column_stats("t", "a").estimated_distinct)
+
+    def test_unknown_references_rejected(self):
+        catalog = Catalog(_schema())
+        with pytest.raises(SchemaError):
+            catalog.set_table_stats("missing", 5)
+        with pytest.raises(SchemaError):
+            catalog.set_column_distribution("t", "missing", UniformInt(1, 2))
+        with pytest.raises(SchemaError):
+            catalog.row_count("t")  # no stats registered yet
+        with pytest.raises(SchemaError):
+            catalog.column_stats("t", "a")
+
+    def test_validate_complete(self):
+        catalog = Catalog(_schema())
+        with pytest.raises(SchemaError):
+            catalog.validate_complete()
+        catalog.set_table_stats("t", 10)
+        catalog.set_column_distribution("t", "a", UniformInt(1, 2))
+        with pytest.raises(SchemaError):
+            catalog.validate_complete()  # column b still missing
+        catalog.set_column_distribution("t", "b", UniformInt(1, 2))
+        catalog.validate_complete()
+
+    def test_negative_rows_rejected(self):
+        catalog = Catalog(_schema())
+        with pytest.raises(SchemaError):
+            catalog.set_table_stats("t", -1)
+
+    def test_total_rows(self):
+        catalog = Catalog(_schema())
+        catalog.set_table_stats("t", 42)
+        assert catalog.total_rows() == 42

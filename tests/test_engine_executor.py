@@ -1,0 +1,247 @@
+"""Tests for the vectorized executor on real generated data."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cardinality import ExactCardinalityModel
+from repro.engine.executor import TableStore, VectorizedExecutor, batch_rows
+from repro.engine.expressions import (
+    Aggregate,
+    AggregateFunction,
+    ComparisonOp,
+    ComparisonPredicate,
+    ComputedColumn,
+)
+from repro.engine.logical import (
+    LogicalDistinct,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalTopK,
+    LogicalUnion,
+    LogicalWindow,
+)
+from repro.engine.optimizer import Optimizer, OptimizerConfig
+from repro.datagen.tablegen import generate_table_store
+
+
+@pytest.fixture(scope="module")
+def toy_instance():
+    from tests.conftest import build_toy_instance
+    return build_toy_instance()
+
+
+@pytest.fixture(scope="module")
+def store(toy_instance):
+    return generate_table_store(toy_instance, scale_fraction=0.2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def executor(store):
+    return VectorizedExecutor(store)
+
+
+@pytest.fixture(scope="module")
+def optimizer(toy_instance):
+    return Optimizer(toy_instance.schema, toy_instance.catalog,
+                     OptimizerConfig(enable_small_table_elimination=False))
+
+
+def _edge(instance, left, right):
+    return instance.schema.edge_between(left, right)
+
+
+class TestScansAndFilters:
+    def test_scan_returns_all_rows(self, optimizer, executor, store):
+        result = executor.execute(optimizer.optimize(LogicalScan("orders")))
+        assert result.n_result_rows == store.row_count("orders")
+
+    def test_filter_matches_manual_count(self, optimizer, executor, store):
+        predicate = ComparisonPredicate("orders", "o_total",
+                                        ComparisonOp.LE, 2000)
+        result = executor.execute(optimizer.optimize(
+            LogicalScan("orders", [predicate])))
+        expected = (store.columns("orders")["o_total"] <= 2000).sum()
+        assert result.n_result_rows == expected
+
+    def test_projection_prunes_columns(self, optimizer, executor):
+        plan = optimizer.optimize(LogicalProject(
+            LogicalScan("orders"), [("orders", "o_id")]))
+        result = executor.execute(plan)
+        assert list(result.result) == ["orders.o_id"]
+
+
+class TestJoins:
+    def test_inner_join_matches_numpy(self, optimizer, executor, store,
+                                      toy_instance):
+        logical = LogicalJoin(LogicalScan("customer"), LogicalScan("orders"),
+                              _edge(toy_instance, "customer", "orders"))
+        result = executor.execute(optimizer.optimize(logical))
+        # Every order has exactly one matching customer (fk integrity).
+        assert result.n_result_rows == store.row_count("orders")
+
+    def test_join_filtered_build(self, optimizer, executor, store,
+                                 toy_instance):
+        predicate = ComparisonPredicate("customer", "c_balance",
+                                        ComparisonOp.LE, 0)
+        logical = LogicalJoin(
+            LogicalScan("customer", [predicate]), LogicalScan("orders"),
+            _edge(toy_instance, "customer", "orders"))
+        result = executor.execute(optimizer.optimize(logical))
+        keep = store.columns("customer")["c_balance"] <= 0
+        qualifying = set(store.columns("customer")["c_id"][keep])
+        expected = np.isin(store.columns("orders")["o_cust"],
+                           list(qualifying)).sum()
+        assert result.n_result_rows == expected
+
+    def test_semi_join(self, optimizer, executor, store, toy_instance):
+        predicate = ComparisonPredicate("orders", "o_total",
+                                        ComparisonOp.LE, 100)
+        logical = LogicalJoin(
+            LogicalScan("orders", [predicate]), LogicalScan("customer"),
+            _edge(toy_instance, "orders", "customer"), kind="semi")
+        result = executor.execute(optimizer.optimize(logical))
+        orders = store.columns("orders")
+        customers_with = set(orders["o_cust"][orders["o_total"] <= 100])
+        assert result.n_result_rows == len(
+            customers_with & set(store.columns("customer")["c_id"]))
+
+    def test_anti_join_complements_semi(self, optimizer, executor, store,
+                                        toy_instance):
+        edge = _edge(toy_instance, "orders", "customer")
+        semi = executor.execute(optimizer.optimize(LogicalJoin(
+            LogicalScan("orders"), LogicalScan("customer"), edge, "semi")))
+        anti = executor.execute(optimizer.optimize(LogicalJoin(
+            LogicalScan("orders"), LogicalScan("customer"), edge, "anti")))
+        assert semi.n_result_rows + anti.n_result_rows == \
+            store.row_count("customer")
+
+
+class TestAggregation:
+    def test_group_by_matches_numpy(self, optimizer, executor, store):
+        logical = LogicalGroupBy(
+            LogicalScan("orders"), [("orders", "o_status")],
+            [Aggregate(AggregateFunction.COUNT),
+             Aggregate(AggregateFunction.SUM, "orders.o_total")])
+        result = executor.execute(optimizer.optimize(logical))
+        status = store.columns("orders")["o_status"]
+        totals = store.columns("orders")["o_total"]
+        assert result.n_result_rows == len(np.unique(status))
+        got = dict(zip(result.result["orders.o_status"],
+                       result.result["#computed.agg_1"]))
+        for value in np.unique(status):
+            assert got[value] == pytest.approx(
+                totals[status == value].sum())
+
+    def test_simple_agg_single_row(self, optimizer, executor, store):
+        logical = LogicalGroupBy(
+            LogicalScan("orders"), [],
+            [Aggregate(AggregateFunction.AVG, "orders.o_total")])
+        result = executor.execute(optimizer.optimize(logical))
+        assert result.n_result_rows == 1
+        assert result.result["#computed.agg_0"][0] == pytest.approx(
+            store.columns("orders")["o_total"].mean())
+
+    def test_distinct(self, optimizer, executor, store):
+        logical = LogicalDistinct(LogicalScan("orders"),
+                                  [("orders", "o_status")])
+        result = executor.execute(optimizer.optimize(logical))
+        assert result.n_result_rows == len(
+            np.unique(store.columns("orders")["o_status"]))
+
+
+class TestOrderingAndWindows:
+    def test_sort_orders_rows(self, optimizer, executor):
+        logical = LogicalSort(LogicalScan("orders"), [("orders", "o_total")])
+        result = executor.execute(optimizer.optimize(logical))
+        values = result.result["orders.o_total"]
+        assert (np.diff(values) >= 0).all()
+
+    def test_topk(self, optimizer, executor, store):
+        logical = LogicalTopK(LogicalScan("orders"), [("orders", "o_total")],
+                              k=10)
+        result = executor.execute(optimizer.optimize(logical))
+        assert result.n_result_rows == 10
+        smallest = np.sort(store.columns("orders")["o_total"])[:10]
+        assert np.array_equal(np.sort(result.result["orders.o_total"]),
+                              smallest)
+
+    def test_limit(self, optimizer, executor):
+        logical = LogicalLimit(LogicalScan("orders"), 7)
+        result = executor.execute(optimizer.optimize(logical))
+        assert result.n_result_rows == 7
+
+    def test_window_rank_within_partitions(self, optimizer, executor):
+        logical = LogicalWindow(LogicalScan("orders"),
+                                [("orders", "o_status")],
+                                [("orders", "o_total")], "rank")
+        result = executor.execute(optimizer.optimize(logical))
+        status = result.result["orders.o_status"]
+        totals = result.result["orders.o_total"]
+        ranks = result.result["#computed.rank"]
+        for value in np.unique(status):
+            mask = status == value
+            part_ranks = ranks[mask]
+            assert set(part_ranks) == set(range(1, mask.sum() + 1))
+            ordered = totals[mask][np.argsort(part_ranks)]
+            assert (np.diff(ordered) >= 0).all()
+
+    def test_union_concatenates(self, optimizer, executor, store):
+        logical = LogicalUnion(
+            LogicalScan("orders", [ComparisonPredicate(
+                "orders", "o_total", ComparisonOp.LE, 5000)]),
+            LogicalScan("orders", [ComparisonPredicate(
+                "orders", "o_total", ComparisonOp.GT, 5000)]))
+        result = executor.execute(optimizer.optimize(logical))
+        assert result.n_result_rows == store.row_count("orders")
+
+
+class TestMapAndObservability:
+    def test_map_computes_columns(self, optimizer, executor):
+        logical = LogicalProject(
+            LogicalScan("orders"), [("orders", "o_id")],
+            [ComputedColumn("double_total",
+                            ["orders.o_total", "orders.o_total"])])
+        result = executor.execute(optimizer.optimize(logical))
+        assert "#computed.double_total" in result.result
+
+    def test_observed_cardinalities_match_exact_model(
+            self, optimizer, executor, toy_instance):
+        logical = LogicalJoin(LogicalScan("customer"), LogicalScan("orders"),
+                              _edge(toy_instance, "customer", "orders"))
+        plan = optimizer.optimize(logical)
+        result = executor.execute(plan)
+        # Scaled store: exact model predicts for the full-size instance,
+        # so compare ratios rather than absolutes.
+        exact = ExactCardinalityModel(toy_instance.catalog)
+        join = plan.root
+        model_ratio = (exact.output_cardinality(join)
+                       / exact.output_cardinality(join.probe_child))
+        observed_ratio = (result.observed_cardinalities[join.node_id]
+                          / result.observed_cardinalities[
+                              join.probe_child.node_id])
+        assert model_ratio == pytest.approx(observed_ratio, rel=0.1)
+
+    def test_pipeline_times_recorded(self, optimizer, executor):
+        result = executor.execute(optimizer.optimize(LogicalScan("orders")))
+        assert len(result.pipeline_times) == 1
+        assert result.total_time > 0
+
+
+class TestTableStore:
+    def test_ragged_rejected(self):
+        from repro.errors import PlanError
+        store = TableStore()
+        with pytest.raises(PlanError):
+            store.put_table("t", {"a": np.zeros(2), "b": np.zeros(3)})
+
+    def test_missing_table(self):
+        from repro.errors import PlanError
+        with pytest.raises(PlanError):
+            TableStore().columns("ghost")
+
+    def test_batch_rows_empty(self):
+        assert batch_rows({}) == 0

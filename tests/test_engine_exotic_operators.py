@@ -1,0 +1,169 @@
+"""Tests for operators the optimizer does not emit by default.
+
+CrossProduct, BNLJoin, Materialize, and AssertSingle exist for plan
+completeness (forced plans, future optimizer rules); these tests build
+physical plans manually and exercise them through the executor, the
+simulator, pipeline decomposition, and the feature registry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.engine.cardinality import ExactCardinalityModel
+from repro.engine.executor import TableStore, VectorizedExecutor
+from repro.engine.physical import (
+    PAssertSingle,
+    PBNLJoin,
+    PCrossProduct,
+    PMaterialize,
+    PhysicalPlan,
+    PLimit,
+    PSimpleAgg,
+    PTableScan,
+)
+from repro.engine.pipelines import decompose_into_pipelines
+from repro.engine.simulator import ExecutionSimulator
+from repro.engine.stages import OperatorType, Stage
+from repro.engine.expressions import Aggregate, AggregateFunction
+from repro.core.features import default_registry
+from repro.datagen.tablegen import generate_table_store
+
+
+@pytest.fixture(scope="module")
+def toy():
+    from tests.conftest import build_toy_instance
+    return build_toy_instance(n_orders=2_000, n_customers=500, n_items=100)
+
+
+@pytest.fixture(scope="module")
+def store(toy):
+    return generate_table_store(toy, scale_fraction=1.0, seed=9,
+                                small_table_floor=1)
+
+
+def _scan(toy, table, columns=None):
+    schema = toy.schema.table(table)
+    names = columns or schema.column_names
+    cols = [(table, c) for c in names]
+    width = sum(schema.column(c).byte_width for c in names)
+    return PTableScan(table, [], 1.0, cols, width, width)
+
+
+class TestCrossProduct:
+    def _plan(self, toy):
+        left = _scan(toy, "item", ["i_id"])
+        right = _scan(toy, "customer", ["c_id"])
+        cross = PCrossProduct(left, right,
+                              left.output_columns + right.output_columns,
+                              left.output_byte_width + right.output_byte_width)
+        return PhysicalPlan(PLimit(cross, 10_000_000), toy.schema.name,
+                            "cross")
+
+    def test_cardinality_is_product(self, toy):
+        plan = self._plan(toy)
+        exact = ExactCardinalityModel(toy.catalog)
+        cross = plan.root.children[0]
+        assert exact.output_cardinality(cross) == pytest.approx(
+            toy.catalog.row_count("item") * toy.catalog.row_count("customer"))
+
+    def test_executes(self, toy, store):
+        plan = self._plan(toy)
+        result = VectorizedExecutor(store).execute(plan)
+        assert result.n_result_rows == (store.row_count("item")
+                                        * store.row_count("customer"))
+
+    def test_simulator_quadratic_cost(self, toy):
+        plan = self._plan(toy)
+        simulator = ExecutionSimulator(toy.catalog)
+        time = simulator.query_time(plan)
+        # At least nested_loop_pair cost per output pair.
+        pairs = (toy.catalog.row_count("item")
+                 * toy.catalog.row_count("customer"))
+        assert time > pairs * simulator.config.nested_loop_pair * 0.5
+
+    def test_pipelines_and_features(self, toy):
+        plan = self._plan(toy)
+        pipelines = decompose_into_pipelines(plan)
+        labels = [ref.label() for p in pipelines for ref in p.stages]
+        assert "CrossProduct_Build" in labels
+        assert "CrossProduct_Probe" in labels
+        registry = default_registry()
+        exact = ExactCardinalityModel(toy.catalog)
+        vectors, _ = registry.vectors_for_plan(plan, exact)
+        assert np.isfinite(vectors).all()
+
+    def test_size_guard(self, toy):
+        plan = self._plan(toy)
+        executor = VectorizedExecutor(TableStore())
+        executor.max_intermediate_rows = 10
+        store_small = TableStore()
+        store_small.put_table("item", {"i_id": np.arange(50)})
+        store_small.put_table("customer", {"c_id": np.arange(50)})
+        executor.store = store_small
+        with pytest.raises(PlanError):
+            executor.execute(plan)
+
+
+class TestBNLJoin:
+    def _plan(self, toy):
+        build = _scan(toy, "customer", ["c_id"])
+        probe = _scan(toy, "orders", ["o_id", "o_cust"])
+        join = PBNLJoin(build, probe, ("customer", "c_id"),
+                        ("orders", "o_cust"), 1.0,
+                        build.output_columns + probe.output_columns,
+                        build.output_byte_width + probe.output_byte_width,
+                        stored_byte_width=build.output_byte_width)
+        return PhysicalPlan(join, toy.schema.name, "bnl")
+
+    def test_equijoin_semantics(self, toy, store):
+        plan = self._plan(toy)
+        result = VectorizedExecutor(store).execute(plan)
+        # Every order matches exactly one customer.
+        assert result.n_result_rows == store.row_count("orders")
+
+    def test_simulator_charges_pairwise(self, toy):
+        plan = self._plan(toy)
+        simulator = ExecutionSimulator(toy.catalog)
+        pairs = (toy.catalog.row_count("customer")
+                 * toy.catalog.row_count("orders"))
+        assert simulator.query_time(plan) > \
+            pairs * simulator.config.nested_loop_pair * 0.5
+
+    def test_stage_structure(self, toy):
+        plan = self._plan(toy)
+        stages = [ref.stage for p in decompose_into_pipelines(plan)
+                  for ref in p.stages
+                  if ref.operator.op_type is OperatorType.BNL_JOIN]
+        assert set(stages) == {Stage.BUILD, Stage.PROBE}
+
+
+class TestMaterializeAndAssertSingle:
+    def test_materialize_roundtrip(self, toy, store):
+        scan = _scan(toy, "item")
+        plan = PhysicalPlan(PMaterialize(scan), toy.schema.name, "mat")
+        result = VectorizedExecutor(store).execute(plan)
+        assert result.n_result_rows == store.row_count("item")
+        # Materialize adds a pipeline breaker.
+        assert len(decompose_into_pipelines(plan)) == 2
+
+    def test_assert_single_passes_one_row(self, toy, store):
+        agg = PSimpleAgg(_scan(toy, "item"),
+                         [Aggregate(AggregateFunction.COUNT)],
+                         [("#computed", "agg_0")], 8)
+        plan = PhysicalPlan(PAssertSingle(agg), toy.schema.name, "single")
+        result = VectorizedExecutor(store).execute(plan)
+        assert result.n_result_rows == 1
+
+    def test_assert_single_rejects_many(self, toy, store):
+        plan = PhysicalPlan(PAssertSingle(_scan(toy, "item")),
+                            toy.schema.name, "single_bad")
+        with pytest.raises(PlanError):
+            VectorizedExecutor(store).execute(plan)
+
+    def test_features_cover_exotic_stages(self, toy):
+        registry = default_registry()
+        for name in ("Materialize_Build_count", "Materialize_Scan_count",
+                     "AssertSingle_PassThrough_count",
+                     "CrossProduct_Probe_count", "BNLJoin_Build_count"):
+            assert registry.index_of(name) >= 0

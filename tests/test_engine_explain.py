@@ -1,0 +1,70 @@
+"""Tests for plan / pipeline explanation rendering."""
+
+import pytest
+
+from repro.engine.cardinality import ExactCardinalityModel
+from repro.engine.explain import explain, explain_pipelines
+from repro.engine.expressions import (
+    Aggregate,
+    AggregateFunction,
+    ComparisonOp,
+    ComparisonPredicate,
+)
+from repro.engine.logical import (
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalScan,
+    LogicalTopK,
+)
+from repro.engine.optimizer import Optimizer
+
+
+@pytest.fixture
+def plan(toy_instance):
+    optimizer = Optimizer(toy_instance.schema, toy_instance.catalog)
+    logical = LogicalTopK(
+        LogicalGroupBy(
+            LogicalJoin(
+                LogicalScan("customer", [ComparisonPredicate(
+                    "customer", "c_balance", ComparisonOp.GE, 0)]),
+                LogicalScan("orders"),
+                toy_instance.schema.edge_between("customer", "orders")),
+            [("orders", "o_status")],
+            [Aggregate(AggregateFunction.COUNT)]),
+        [("#computed", "agg_0")], 5)
+    return optimizer.optimize(logical, "explained")
+
+
+class TestExplain:
+    def test_tree_structure(self, plan):
+        text = explain(plan)
+        assert "TopK(k=5)" in text
+        assert "GroupBy(orders.o_status; 1 aggregates)" in text
+        assert "HashJoin(" in text
+        assert "TableScan(customer [1 predicates])" in text
+        # Indentation reflects depth.
+        lines = text.splitlines()
+        assert lines[1].startswith("- ")
+        assert lines[2].startswith("  - ")
+
+    def test_cardinalities_shown_with_model(self, plan, toy_instance):
+        model = ExactCardinalityModel(toy_instance.catalog)
+        text = explain(plan, model)
+        assert "card=" in text
+
+    def test_pipelines_without_model(self, plan):
+        text = explain_pipelines(plan)
+        assert "Pipeline 0:" in text
+        assert "TableScan_Scan" in text
+        assert "in=" not in text  # flows require a model
+
+    def test_pipelines_with_model(self, plan, toy_instance):
+        model = ExactCardinalityModel(toy_instance.catalog)
+        text = explain_pipelines(plan, model)
+        assert "in=" in text and "out=" in text
+        assert "materializes=" in text
+        assert "state=" in text  # probe stage shows hash-table size
+
+    def test_query_name_shown(self, plan):
+        assert "explained" in explain(plan)
+        assert "explained" in explain_pipelines(plan)

@@ -1,0 +1,217 @@
+"""Tests for predicates: evaluation, selectivities, distinct fractions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExpressionError
+from repro.engine.expressions import (
+    Aggregate,
+    AggregateFunction,
+    BetweenPredicate,
+    ComparisonOp,
+    ComparisonPredicate,
+    ComputedColumn,
+    DEFAULT_LIKE_SELECTIVITY,
+    ExpressionKind,
+    InListPredicate,
+    LikePredicate,
+    NotPredicate,
+    OrPredicate,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    from tests.conftest import build_toy_instance
+    return build_toy_instance().catalog
+
+
+def _data(n=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return {"o_total": rng.integers(1, 10_001, n)}
+
+
+class TestComparison:
+    def test_evaluate_all_ops(self):
+        columns = {"o_total": np.array([1, 5, 10])}
+        cases = {
+            ComparisonOp.EQ: [False, True, False],
+            ComparisonOp.NE: [True, False, True],
+            ComparisonOp.LT: [True, False, False],
+            ComparisonOp.LE: [True, True, False],
+            ComparisonOp.GT: [False, False, True],
+            ComparisonOp.GE: [False, True, True],
+        }
+        for op, expected in cases.items():
+            predicate = ComparisonPredicate("orders", "o_total", op, 5)
+            assert list(predicate.evaluate(columns)) == expected
+
+    def test_true_selectivity_matches_data(self, catalog):
+        predicate = ComparisonPredicate("orders", "o_total",
+                                        ComparisonOp.LE, 5000)
+        truth = predicate.true_selectivity(catalog)
+        observed = predicate.evaluate(_data()).mean()
+        assert abs(truth - observed) < 0.02
+
+    def test_estimated_uses_uniformity(self, catalog):
+        predicate = ComparisonPredicate("orders", "o_total",
+                                        ComparisonOp.LE, 5000)
+        assert predicate.estimated_selectivity(catalog) == pytest.approx(
+            0.5, abs=0.01)
+
+    def test_eq_estimate_uses_distinct(self, catalog):
+        predicate = ComparisonPredicate("orders", "o_total",
+                                        ComparisonOp.EQ, 500)
+        estimated = predicate.estimated_selectivity(catalog)
+        assert 0.0 < estimated < 0.01
+
+    def test_kind(self):
+        predicate = ComparisonPredicate("t", "c", ComparisonOp.LT, 1)
+        assert predicate.kind is ExpressionKind.COMPARISON
+
+    def test_missing_column_raises(self):
+        predicate = ComparisonPredicate("t", "c", ComparisonOp.LT, 1)
+        with pytest.raises(ExpressionError):
+            predicate.evaluate({"other": np.zeros(3)})
+
+
+class TestBetween:
+    def test_evaluate_inclusive(self):
+        predicate = BetweenPredicate("orders", "o_total", 3, 5)
+        mask = predicate.evaluate({"o_total": np.array([2, 3, 4, 5, 6])})
+        assert list(mask) == [False, True, True, True, False]
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ExpressionError):
+            BetweenPredicate("t", "c", 5, 3)
+
+    def test_true_selectivity(self, catalog):
+        predicate = BetweenPredicate("orders", "o_total", 1001, 2000)
+        assert predicate.true_selectivity(catalog) == pytest.approx(0.1,
+                                                                    abs=0.01)
+
+    def test_distinct_fraction(self, catalog):
+        predicate = BetweenPredicate("orders", "o_total", 1, 1000)
+        assert predicate.true_distinct_fraction(catalog) == pytest.approx(
+            0.1, abs=0.01)
+
+
+class TestInList:
+    def test_evaluate(self):
+        predicate = InListPredicate("orders", "o_total", [2, 4])
+        mask = predicate.evaluate({"o_total": np.array([1, 2, 3, 4])})
+        assert list(mask) == [False, True, False, True]
+
+    def test_duplicates_removed(self):
+        predicate = InListPredicate("t", "c", [3, 3, 3])
+        assert predicate.values == (3,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExpressionError):
+            InListPredicate("t", "c", [])
+
+    def test_estimated_selectivity_scales_with_list(self, catalog):
+        small = InListPredicate("orders", "o_total", [1, 2])
+        large = InListPredicate("orders", "o_total", list(range(1, 101)))
+        assert (large.estimated_selectivity(catalog)
+                > small.estimated_selectivity(catalog))
+
+
+class TestLike:
+    def test_evaluate_matches_codes(self):
+        predicate = LikePredicate("customer", "c_name", "%x%", [1, 3])
+        mask = predicate.evaluate({"c_name": np.array([0, 1, 2, 3])})
+        assert list(mask) == [False, True, False, True]
+
+    def test_estimate_is_default_guess(self, catalog):
+        predicate = LikePredicate("customer", "c_name", "%x%", [0])
+        assert predicate.estimated_selectivity(catalog) == \
+            DEFAULT_LIKE_SELECTIVITY
+
+    def test_true_selectivity_from_codes(self, catalog):
+        n = catalog.column_stats("customer", "c_name").true_distinct
+        predicate = LikePredicate("customer", "c_name", "%x%",
+                                  list(range(n // 10)))
+        assert predicate.true_selectivity(catalog) == pytest.approx(0.1,
+                                                                    abs=0.01)
+
+
+class TestCompound:
+    def test_or_evaluate(self):
+        a = ComparisonPredicate("t", "c", ComparisonOp.LE, 2)
+        b = ComparisonPredicate("t", "c", ComparisonOp.GE, 8)
+        predicate = OrPredicate([a, b])
+        mask = predicate.evaluate({"c": np.array([1, 5, 9])})
+        assert list(mask) == [True, False, True]
+        assert predicate.kind is ExpressionKind.OTHER
+
+    def test_or_selectivity_union_bound(self, catalog):
+        a = ComparisonPredicate("orders", "o_total", ComparisonOp.LE, 2000)
+        b = ComparisonPredicate("orders", "o_total", ComparisonOp.GE, 9000)
+        either = OrPredicate([a, b])
+        assert either.true_selectivity(catalog) <= (
+            a.true_selectivity(catalog) + b.true_selectivity(catalog) + 1e-9)
+
+    def test_or_needs_two(self):
+        a = ComparisonPredicate("t", "c", ComparisonOp.LE, 2)
+        with pytest.raises(ExpressionError):
+            OrPredicate([a])
+
+    def test_or_mixed_tables_rejected(self):
+        a = ComparisonPredicate("t1", "c", ComparisonOp.LE, 2)
+        b = ComparisonPredicate("t2", "c", ComparisonOp.LE, 2)
+        with pytest.raises(ExpressionError):
+            OrPredicate([a, b])
+
+    def test_not_complements(self, catalog):
+        inner = ComparisonPredicate("orders", "o_total", ComparisonOp.LE, 3000)
+        negated = NotPredicate(inner)
+        assert negated.true_selectivity(catalog) == pytest.approx(
+            1.0 - inner.true_selectivity(catalog))
+        mask = negated.evaluate({"o_total": np.array([1000, 9000])})
+        assert list(mask) == [False, True]
+
+    def test_cost_weights(self):
+        a = ComparisonPredicate("t", "c", ComparisonOp.LE, 2)
+        b = BetweenPredicate("t", "c", 1, 2)
+        assert OrPredicate([a, a]).evaluation_cost_weight() == pytest.approx(
+            2 * a.evaluation_cost_weight())
+        assert b.evaluation_cost_weight() > a.evaluation_cost_weight()
+
+
+class TestAggregatesAndComputed:
+    def test_count(self):
+        assert Aggregate(AggregateFunction.COUNT).evaluate({}, 7) == 7.0
+
+    def test_sum_min_max_avg(self):
+        columns = {"x": np.array([1.0, 2.0, 3.0])}
+        assert Aggregate(AggregateFunction.SUM, "x").evaluate(columns, 3) == 6.0
+        assert Aggregate(AggregateFunction.MIN, "x").evaluate(columns, 3) == 1.0
+        assert Aggregate(AggregateFunction.MAX, "x").evaluate(columns, 3) == 3.0
+        assert Aggregate(AggregateFunction.AVG, "x").evaluate(columns, 3) == 2.0
+
+    def test_sum_without_column_rejected(self):
+        with pytest.raises(ExpressionError):
+            Aggregate(AggregateFunction.SUM).evaluate({}, 3)
+
+    def test_computed_column(self):
+        computed = ComputedColumn("total", ["a", "b"], n_operations=2)
+        result = computed.evaluate({"a": np.array([1.0]), "b": np.array([2.0])})
+        assert result[0] == 3.0
+
+    def test_computed_needs_inputs(self):
+        with pytest.raises(ExpressionError):
+            ComputedColumn("x", []).evaluate({})
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(list(ComparisonOp)),
+       st.integers(min_value=-20_000, max_value=20_000))
+def test_property_selectivity_bounds(op, value):
+    from tests.conftest import build_toy_instance
+    catalog = build_toy_instance().catalog
+    predicate = ComparisonPredicate("orders", "o_total", op, value)
+    assert 0.0 <= predicate.true_selectivity(catalog) <= 1.0
+    assert 0.0 <= predicate.estimated_selectivity(catalog) <= 1.0
+    assert 0.0 <= predicate.true_distinct_fraction(catalog) <= 1.0

@@ -1,0 +1,153 @@
+"""Tests for the analytic execution simulator."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cardinality import ExactCardinalityModel
+from repro.engine.expressions import (
+    Aggregate,
+    AggregateFunction,
+    ComparisonOp,
+    ComparisonPredicate,
+)
+from repro.engine.logical import (
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.engine.optimizer import Optimizer
+from repro.engine.pipelines import decompose_into_pipelines
+from repro.engine.simulator import (
+    CacheHierarchy,
+    ExecutionSimulator,
+    SimulatorConfig,
+)
+from repro.metrics import consistent_run_deviation
+
+
+@pytest.fixture
+def optimizer(toy_instance):
+    return Optimizer(toy_instance.schema, toy_instance.catalog)
+
+
+@pytest.fixture
+def simulator(toy_instance):
+    return ExecutionSimulator(toy_instance.catalog)
+
+
+def _edge(instance, left, right):
+    return instance.schema.edge_between(left, right)
+
+
+class TestCacheHierarchy:
+    def test_penalty_monotone(self):
+        cache = CacheHierarchy()
+        sizes = [1e3, 1e5, 1e7, 1e9, 1e11]
+        penalties = [cache.penalty(s) for s in sizes]
+        assert all(b >= a for a, b in zip(penalties, penalties[1:]))
+
+    def test_bounds(self):
+        cache = CacheHierarchy()
+        assert cache.penalty(1.0) == cache.l1_penalty
+        assert cache.penalty(1e15) == cache.dram_penalty
+
+
+class TestDeterministicTimes:
+    def test_query_time_is_sum_of_pipelines(self, optimizer, simulator,
+                                            toy_instance):
+        logical = LogicalGroupBy(
+            LogicalJoin(LogicalScan("customer"), LogicalScan("orders"),
+                        _edge(toy_instance, "customer", "orders")),
+            [("orders", "o_status")], [Aggregate(AggregateFunction.COUNT)])
+        plan = optimizer.optimize(logical)
+        pipelines = decompose_into_pipelines(plan)
+        total = sum(simulator.pipeline_time(p) for p in pipelines)
+        assert simulator.query_time(plan) == pytest.approx(total)
+
+    def test_selective_scan_is_cheaper(self, optimizer, simulator):
+        full = optimizer.optimize(LogicalScan("orders"))
+        filtered = optimizer.optimize(LogicalScan("orders", [
+            ComparisonPredicate("orders", "o_total", ComparisonOp.LE, 100)]))
+        # The filtered scan still reads all tuples but emits fewer.
+        assert simulator.query_time(filtered) <= \
+            simulator.query_time(full) * 1.6
+        assert simulator.query_time(filtered) > 0
+
+    def test_sort_superlinear(self, optimizer, simulator, toy_instance):
+        """Per-tuple cost of the Sort build stage grows with input size."""
+        exact = ExactCardinalityModel(toy_instance.catalog)
+
+        def sort_build_per_tuple(selectivity_value):
+            predicates = []
+            if selectivity_value is not None:
+                predicates = [ComparisonPredicate(
+                    "orders", "o_total", ComparisonOp.LE, selectivity_value)]
+            plan = optimizer.optimize(LogicalSort(
+                LogicalScan("orders", predicates), [("orders", "o_total")]))
+            pipeline = decompose_into_pipelines(plan)[0]
+            from repro.engine.pipelines import compute_stage_flows
+            build = compute_stage_flows(pipeline, exact)[-1]
+            assert build.ref.label() == "Sort_Build"
+            return simulator._stage_time(build) / build.tuples_in
+
+        small = sort_build_per_tuple(500)      # ~2.5k tuples
+        large = sort_build_per_tuple(None)     # 50k tuples
+        assert large > small * 1.15
+
+    def test_speed_factor_scales_time(self, optimizer, toy_instance):
+        plan = optimizer.optimize(LogicalScan("orders"))
+        fast = ExecutionSimulator(toy_instance.catalog,
+                                  SimulatorConfig(speed_factor=2.0))
+        slow = ExecutionSimulator(toy_instance.catalog,
+                                  SimulatorConfig(speed_factor=1.0))
+        assert slow.query_time(plan) == pytest.approx(
+            2.0 * fast.query_time(plan))
+
+
+class TestNoisyRuns:
+    def test_runs_scatter_around_expectation(self, optimizer, simulator):
+        plan = optimizer.optimize(LogicalScan("orders"))
+        execution = simulator.execute(plan, n_runs=10)
+        runs = np.array(execution.run_times)
+        assert abs(np.median(runs) / execution.total_time - 1) < 0.2
+        assert runs.std() > 0
+
+    def test_deterministic_given_seed(self, optimizer, simulator):
+        plan = optimizer.optimize(LogicalScan("orders"), "q")
+        a = simulator.execute(plan, n_runs=5)
+        b = simulator.execute(plan, n_runs=5)
+        assert a.run_times == b.run_times
+
+    def test_run_seed_changes_noise(self, optimizer, simulator):
+        plan = optimizer.optimize(LogicalScan("orders"), "q")
+        a = simulator.execute(plan, n_runs=5, run_seed=0)
+        b = simulator.execute(plan, n_runs=5, run_seed=1)
+        assert a.run_times != b.run_times
+
+    def test_pipeline_run_matrix_shape(self, optimizer, simulator,
+                                       toy_instance):
+        logical = LogicalJoin(LogicalScan("customer"), LogicalScan("orders"),
+                              _edge(toy_instance, "customer", "orders"))
+        plan = optimizer.optimize(logical)
+        execution = simulator.execute(plan, n_runs=7)
+        assert execution.pipeline_run_times.shape == (
+            7, len(execution.pipelines))
+        medians = execution.median_pipeline_times()
+        assert len(medians) == len(execution.pipelines)
+        assert np.all(medians > 0)
+
+    def test_noise_calibration_matches_table3(self, optimizer, simulator,
+                                              toy_workload):
+        """~90 % of queries should deviate < ~13 % across repeated runs
+        (the paper's Table 3)."""
+        deviations = [consistent_run_deviation(q.execution.run_times)
+                      for q in toy_workload]
+        p90 = float(np.percentile(deviations, 90))
+        assert 1.02 < p90 < 1.25
+
+    def test_invalid_runs(self, optimizer, simulator):
+        from repro.errors import PlanError
+        plan = optimizer.optimize(LogicalScan("orders"))
+        with pytest.raises(PlanError):
+            simulator.execute(plan, n_runs=0)

@@ -1,0 +1,102 @@
+"""Tests for the experiment harness: cache, context, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import DiskCache
+from repro.experiments.context import ExperimentContext, ExperimentScale
+from repro.experiments.reporting import format_seconds, print_series, print_table
+
+
+class TestDiskCache:
+    def test_build_once(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"answer": 42}
+
+        assert cache.get_or_build("k", build) == {"answer": 42}
+        assert cache.get_or_build("k", build) == {"answer": 42}
+        assert len(calls) == 1
+
+    def test_disabled_cache_always_builds(self, tmp_path):
+        cache = DiskCache(tmp_path, enabled=False)
+        calls = []
+        cache.get_or_build("k", lambda: calls.append(1))
+        cache.get_or_build("k", lambda: calls.append(1))
+        assert len(calls) == 2
+
+    def test_invalidate(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        calls = []
+        cache.get_or_build("k", lambda: calls.append(1) or 1)
+        cache.invalidate("k")
+        cache.get_or_build("k", lambda: calls.append(1) or 1)
+        assert len(calls) == 2
+
+    def test_corrupt_entry_rebuilt(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.get_or_build("k", lambda: 1)
+        path = cache._path("k")
+        path.write_bytes(b"garbage")
+        assert cache.get_or_build("k", lambda: 2) == 2
+
+    def test_key_sanitization(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get_or_build("weird/key with spaces", lambda: 3) == 3
+
+    def test_clear(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.get_or_build("a", lambda: 1)
+        cache.clear()
+        calls = []
+        cache.get_or_build("a", lambda: calls.append(1) or 1)
+        assert calls
+
+
+class TestContext:
+    @pytest.fixture(scope="class")
+    def context(self, tmp_path_factory):
+        cache = DiskCache(tmp_path_factory.mktemp("cache"))
+        return ExperimentContext(ExperimentScale.smoke(), cache=cache)
+
+    def test_split_is_clean(self, context):
+        train_families = {q.family for q in context.train_queries()}
+        test_families = {q.family for q in context.test_queries()}
+        assert "tpcds" not in train_families
+        assert test_families == {"tpcds"}
+
+    def test_workload_covers_all_instances(self, context):
+        instances = {q.instance_name for q in context.workload()}
+        assert len(instances) == 21
+
+    def test_job_benchmark_queries(self, context):
+        job = context.job_benchmark_queries()
+        assert len(job) == 113
+
+    def test_families(self, context):
+        assert len(context.families()) == 17
+
+    def test_exclude_family(self, context):
+        remaining = context.queries_excluding_family("imdb")
+        assert all(q.family != "imdb" for q in remaining)
+
+
+class TestReporting:
+    def test_format_seconds(self):
+        assert format_seconds(3e-9).endswith("ns")
+        assert format_seconds(5e-6).endswith("us")
+        assert format_seconds(2e-3).endswith("ms")
+        assert format_seconds(1.5).endswith("s")
+
+    def test_print_table(self, capsys):
+        print_table("Title", ["a", "b"], [[1, 2], ["xx", "yy"]], note="n")
+        out = capsys.readouterr().out
+        assert "Title" in out and "xx" in out and "note: n" in out
+
+    def test_print_series(self, capsys):
+        print_series("S", "x", {"y": [1.0, 2.0]}, [10, 20])
+        out = capsys.readouterr().out
+        assert "10" in out and "2" in out

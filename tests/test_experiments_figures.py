@@ -1,0 +1,49 @@
+"""Tests for figure-data CSV export."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.figures import FigureData, export_all, read_csv, write_csv
+
+
+def _figure(name="fig"):
+    return FigureData(name, "x", {"a": [1.0, 2.0], "b": [3.0, 4.0]},
+                      [10, 20], notes="n")
+
+
+class TestFigureData:
+    def test_rows(self):
+        rows = _figure().rows()
+        assert rows[0] == ["x", "a", "b"]
+        assert rows[1] == [10, 1.0, 3.0]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReproError):
+            FigureData("f", "x", {"a": [1.0]}, [1, 2])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ReproError):
+            FigureData("f", "x", {}, [])
+
+
+class TestCsvRoundtrip:
+    def test_write_read(self, tmp_path):
+        path = write_csv(_figure(), tmp_path / "f.csv")
+        loaded = read_csv(path)
+        assert loaded.x_label == "x"
+        assert loaded.series["a"] == [1.0, 2.0]
+        assert loaded.series["b"] == [3.0, 4.0]
+
+    def test_creates_directories(self, tmp_path):
+        path = write_csv(_figure(), tmp_path / "deep" / "dir" / "f.csv")
+        assert path.exists()
+
+    def test_export_all(self, tmp_path):
+        paths = export_all([_figure("a"), _figure("b")], tmp_path)
+        assert [p.name for p in paths] == ["a.csv", "b.csv"]
+
+    def test_read_garbage_rejected(self, tmp_path):
+        empty = tmp_path / "bad.csv"
+        empty.write_text("justonerow\n")
+        with pytest.raises(ReproError):
+            read_csv(empty)

@@ -1,0 +1,140 @@
+"""End-to-end integration tests: the paper's headline claims in miniature.
+
+These train small-but-real models across instances and check the
+*qualitative* results the paper reports: zero-shot generalization,
+ablation ordering (per-tuple > per-pipeline > per-query), compiled
+latency, and cardinality-degradation behaviour.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.metrics import summarize_predictions
+from repro.trees.boosting import BoostingParams
+from repro.core.ablation import TargetMode
+from repro.core.dataset import CardinalityKind, build_dataset
+from repro.core.model import T3Config, T3Model
+from repro.datagen.workload import WorkloadConfig, build_corpus_workload
+from repro.treecomp.compiler import find_c_compiler
+
+TRAIN_INSTANCES = ["tpch_sf1", "financial", "airline", "ssb", "basketball"]
+TEST_INSTANCES = ["tpcds_sf1"]
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    config = WorkloadConfig(queries_per_structure=3,
+                            include_fixed_benchmarks=False)
+    train = build_corpus_workload(TRAIN_INSTANCES, config)
+    test = build_corpus_workload(TEST_INSTANCES, config)
+    return train, test
+
+
+def _config(**kwargs):
+    defaults = dict(boosting=BoostingParams(n_rounds=60, objective="mape"))
+    defaults.update(kwargs)
+    return T3Config(**defaults)
+
+
+@pytest.fixture(scope="module")
+def t3(workloads):
+    train, _ = workloads
+    return T3Model.train(train, _config())
+
+
+class TestZeroShotGeneralization:
+    def test_accuracy_on_unseen_instance(self, t3, workloads):
+        """Paper Table 4: test q-error moderately worse than train."""
+        train, test = workloads
+        train_error = t3.evaluate(train)
+        test_error = t3.evaluate(test)
+        assert train_error.p50 < 1.3
+        assert test_error.p50 < 2.5
+        assert test_error.p50 >= train_error.p50 * 0.8
+
+    def test_predictions_correlate_with_truth(self, t3, workloads):
+        _, test = workloads
+        dataset = build_dataset(test)
+        predicted = t3.predict_dataset(dataset)
+        actual = dataset.query_times()
+        correlation = np.corrcoef(np.log(predicted), np.log(actual))[0, 1]
+        assert correlation > 0.9
+
+
+class TestAblationOrdering:
+    def test_figure13_ordering(self, workloads):
+        """Per-tuple beats per-pipeline beats per-query (Figure 13)."""
+        train, test = workloads
+        errors = {}
+        for mode in TargetMode:
+            model = T3Model.train(train, _config(
+                target_mode=mode, compile_to_native=False))
+            errors[mode] = model.evaluate(test).p50
+        assert errors[TargetMode.PER_TUPLE] <= errors[TargetMode.PER_PIPELINE]
+        assert errors[TargetMode.PER_TUPLE] < errors[TargetMode.PER_QUERY]
+
+
+@pytest.mark.skipif(find_c_compiler() is None, reason="no C compiler")
+class TestLatencyClaims:
+    def test_compiled_single_prediction_under_100us(self, t3, workloads):
+        """Paper: ~4 us per model call. Allow two orders of slack for
+        ctypes overhead and slow CI machines."""
+        _, test = workloads
+        dataset = build_dataset(test[:5])
+        vector = np.ascontiguousarray(dataset.X[0])
+        t3.predict_raw_one(vector)  # warm up
+        start = time.perf_counter()
+        n = 2000
+        for _ in range(n):
+            t3.predict_raw_one(vector)
+        per_call = (time.perf_counter() - start) / n
+        assert per_call < 100e-6
+
+    def test_compiled_faster_than_interpreted(self, t3, workloads):
+        from repro.core.model import PredictionBackend
+        _, test = workloads
+        dataset = build_dataset(test[:5])
+        vector = np.ascontiguousarray(dataset.X[0])
+
+        def timed(n=300):
+            start = time.perf_counter()
+            for _ in range(n):
+                t3.predict_raw_one(vector)
+            return time.perf_counter() - start
+
+        compiled_time = timed()
+        t3.use_backend(PredictionBackend.INTERPRETED)
+        try:
+            interpreted_time = timed()
+        finally:
+            t3.use_backend(PredictionBackend.COMPILED)
+        assert compiled_time * 3 < interpreted_time
+
+
+class TestCardinalityDegradation:
+    def test_figure12_monotone_degradation(self, t3, workloads):
+        _, test = workloads
+        p50s = [t3.evaluate(test, distortion=d, seed=1).p50
+                for d in (1.0, 10.0, 100.0, 1000.0)]
+        assert p50s[0] < p50s[2]
+        assert p50s[1] < p50s[3]
+
+    def test_figure11_estimated_worse_than_exact(self, t3, workloads):
+        """Directionally: estimated cardinalities should not *improve*
+        accuracy (small-sample tolerance on the mean)."""
+        _, test = workloads
+        exact = t3.evaluate(test, kind=CardinalityKind.EXACT)
+        estimated = t3.evaluate(test, kind=CardinalityKind.ESTIMATED)
+        assert estimated.mean >= exact.mean * 0.8
+
+
+class TestBenchmarkNoiseFloor:
+    def test_model_error_not_below_measurement_noise(self, t3, workloads):
+        """No model should beat the run-to-run measurement variation."""
+        from repro.metrics import consistent_run_deviation
+        train, _ = workloads
+        noise_floor = np.median([
+            consistent_run_deviation(q.execution.run_times) for q in train])
+        assert t3.evaluate(train).p50 >= noise_floor * 0.8

@@ -1,0 +1,149 @@
+"""Tests for join graphs, DPsize, and the T3 join cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.engine.logical import LogicalGroupBy, LogicalJoin, LogicalScan
+from repro.engine.expressions import Aggregate, AggregateFunction
+from repro.datagen.instances import get_instance
+from repro.datagen.benchmarks_job import job_queries
+from repro.joinorder import (
+    CoutJoinCost,
+    JoinGraph,
+    T3JoinCost,
+    dpsize,
+    greedy_order,
+    join_tree_tables,
+)
+from repro.joinorder.dpsize import tree_to_logical
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return get_instance("imdb")
+
+
+@pytest.fixture(scope="module")
+def job_graphs(imdb):
+    graphs = []
+    for name, logical in job_queries(imdb)[:20]:
+        graphs.append((name, JoinGraph.from_logical(logical, imdb.catalog)))
+    return graphs
+
+
+def _toy_graph(toy_instance):
+    logical = LogicalGroupBy(
+        LogicalJoin(
+            LogicalJoin(LogicalScan("orders"), LogicalScan("customer"),
+                        toy_instance.schema.edge_between("orders", "customer")),
+            LogicalScan("item"),
+            toy_instance.schema.edge_between("orders", "item")),
+        [], [Aggregate(AggregateFunction.COUNT)])
+    return JoinGraph.from_logical(logical, toy_instance.catalog)
+
+
+class TestJoinGraph:
+    def test_extraction(self, toy_instance):
+        graph = _toy_graph(toy_instance)
+        assert graph.n_relations == 3
+        assert len(graph.edges) == 2
+
+    def test_cardinality_oracle_consistency(self, toy_instance):
+        graph = _toy_graph(toy_instance)
+        full = graph.cardinality((1 << 3) - 1)
+        # orders joins both dims on fks: full result ~ |orders|
+        assert full == pytest.approx(
+            toy_instance.catalog.row_count("orders"), rel=0.05)
+
+    def test_connectivity(self, toy_instance):
+        graph = _toy_graph(toy_instance)
+        orders_bit = 1 << 0
+        assert graph.connected(orders_bit, 0b110)
+        # customer and item only connect through orders.
+        assert not graph.connected(0b010, 0b100)
+
+    def test_semi_join_rejected(self, toy_instance):
+        logical = LogicalJoin(
+            LogicalScan("orders"), LogicalScan("customer"),
+            toy_instance.schema.edge_between("orders", "customer"),
+            kind="semi")
+        with pytest.raises(PlanError):
+            JoinGraph.from_logical(logical, toy_instance.catalog)
+
+    def test_job_graphs_build(self, job_graphs):
+        for name, graph in job_graphs:
+            assert graph.n_relations >= 2
+            assert graph.cardinality((1 << graph.n_relations) - 1) >= 0
+
+
+class TestDPsize:
+    def test_finds_connected_tree(self, toy_instance):
+        graph = _toy_graph(toy_instance)
+        result = dpsize(graph, CoutJoinCost())
+        tables = join_tree_tables(result.tree, graph)
+        assert sorted(tables) == ["customer", "item", "orders"]
+        assert result.model_calls > 0
+
+    def test_optimal_for_cout_on_chain(self, toy_instance):
+        """DPsize must beat or match any fixed order under its own cost."""
+        graph = _toy_graph(toy_instance)
+        result = dpsize(graph, CoutJoinCost())
+        # Exhaustive check over the 3-relation space: cost is minimal.
+        assert result.cost <= graph.cardinality(0b111) + min(
+            graph.cardinality(0b011), graph.cardinality(0b101))
+
+    def test_cost_model_call_ratio(self, job_graphs, toy_workload):
+        """T3 makes ~2 calls per combination vs 1 for C_out (Table 5)."""
+        from repro.core.model import T3Model
+        from repro.trees.boosting import BoostingParams
+        from repro.core.model import T3Config
+        model = T3Model.train(
+            toy_workload,
+            T3Config(boosting=BoostingParams(n_rounds=10),
+                     compile_to_native=False))
+        name, graph = job_graphs[0]
+        cout = dpsize(graph, CoutJoinCost())
+        t3 = dpsize(graph, T3JoinCost(model.predict_raw_one))
+        # Leaves add n extra calls for T3; combinations cost 2x.
+        assert t3.model_calls >= 2 * cout.model_calls
+        assert t3.model_calls <= 2 * cout.model_calls + graph.n_relations
+
+    def test_all_job_prefix_optimizes(self, job_graphs):
+        for name, graph in job_graphs:
+            result = dpsize(graph, CoutJoinCost())
+            assert len(join_tree_tables(result.tree, graph)) == \
+                graph.n_relations
+
+    def test_tree_to_logical_roundtrip(self, toy_instance):
+        graph = _toy_graph(toy_instance)
+        result = dpsize(graph, CoutJoinCost())
+        logical = tree_to_logical(result.tree, graph)
+        rebuilt = JoinGraph.from_logical(logical, toy_instance.catalog)
+        assert rebuilt.n_relations == graph.n_relations
+
+    def test_disconnected_graph_rejected(self, toy_instance):
+        graph = _toy_graph(toy_instance)
+        graph.edges.clear()
+        with pytest.raises(PlanError):
+            dpsize(graph, CoutJoinCost())
+
+
+class TestGreedy:
+    def test_produces_full_tree(self, toy_instance):
+        graph = _toy_graph(toy_instance)
+        tree = greedy_order(graph, estimation_sigma=0.5, seed=1)
+        assert sorted(join_tree_tables(tree, graph)) == [
+            "customer", "item", "orders"]
+
+    def test_perfect_estimates_match_dpsize_cost_class(self, job_graphs):
+        """With sigma=0, greedy should find reasonable (not absurd) orders."""
+        name, graph = job_graphs[0]
+        tree = greedy_order(graph, estimation_sigma=0.0)
+        assert len(join_tree_tables(tree, graph)) == graph.n_relations
+
+    def test_deterministic(self, toy_instance):
+        graph = _toy_graph(toy_instance)
+        a = greedy_order(graph, estimation_sigma=0.7, seed=3)
+        b = greedy_order(graph, estimation_sigma=0.7, seed=3)
+        assert join_tree_tables(a, graph) == join_tree_tables(b, graph)

@@ -1,0 +1,99 @@
+"""Tests for q-error metrics and benchmark-deviation statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.metrics import (
+    QErrorSummary,
+    consistent_run_deviation,
+    q_error,
+    q_errors,
+    summarize_predictions,
+    summarize_q_errors,
+)
+
+
+class TestQError:
+    def test_exact_prediction_is_one(self):
+        assert q_error(1.5, 1.5) == 1.0
+
+    def test_symmetry_of_over_and_underestimation(self):
+        assert q_error(2.0, 1.0) == q_error(1.0, 2.0) == 2.0
+
+    def test_zero_values_are_floored_not_infinite(self):
+        assert np.isfinite(q_error(0.0, 1.0))
+        assert q_error(0.0, 0.0) == 1.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ReproError):
+            q_error(-1.0, 1.0)
+
+    @given(st.floats(min_value=1e-9, max_value=1e6),
+           st.floats(min_value=1e-9, max_value=1e6))
+    def test_always_at_least_one(self, a, b):
+        assert q_error(a, b) >= 1.0
+
+    @given(st.floats(min_value=1e-9, max_value=1e6),
+           st.floats(min_value=1e-9, max_value=1e6))
+    def test_symmetric_property(self, a, b):
+        assert q_error(a, b) == pytest.approx(q_error(b, a))
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        predicted = [1.0, 2.0, 0.5]
+        actual = [1.0, 1.0, 1.0]
+        expected = [q_error(p, a) for p, a in zip(predicted, actual)]
+        assert np.allclose(q_errors(predicted, actual), expected)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ReproError):
+            q_errors([1.0, 2.0], [1.0])
+
+
+class TestSummary:
+    def test_percentiles_ordered(self):
+        errors = np.linspace(1.0, 10.0, 100)
+        summary = summarize_q_errors(errors)
+        assert summary.p50 <= summary.p90
+        assert summary.count == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize_q_errors([])
+
+    def test_summarize_predictions(self):
+        summary = summarize_predictions([1.0, 2.0], [1.0, 1.0])
+        assert summary.p90 <= 2.0
+        assert summary.mean == pytest.approx(1.5)
+
+    def test_row_rendering(self):
+        summary = QErrorSummary(1.1, 2.2, 1.5, 7)
+        row = summary.row()
+        assert "1.10" in row and "n=7" in row
+
+
+class TestConsistentRunDeviation:
+    def test_identical_runs_have_no_deviation(self):
+        assert consistent_run_deviation([1.0] * 10) == 1.0
+
+    def test_outliers_are_dropped(self):
+        # 9 consistent runs plus one wild outlier: the kept 2/3 exclude it.
+        runs = [1.0] * 9 + [100.0]
+        assert consistent_run_deviation(runs) == pytest.approx(1.0)
+
+    def test_moderate_noise_reported(self):
+        runs = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98, 1.0, 1.0, 1.0]
+        deviation = consistent_run_deviation(runs)
+        assert 1.0 < deviation < 1.1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            consistent_run_deviation([])
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e3),
+                    min_size=1, max_size=30))
+    def test_at_least_one(self, runs):
+        assert consistent_run_deviation(runs) >= 1.0

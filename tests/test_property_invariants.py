@@ -1,0 +1,131 @@
+"""Property-based invariants over randomly generated queries.
+
+These pin down structural laws that must hold for *every* query the
+generator can produce — the properties T3's correctness rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine.cardinality import EstimatedCardinalityModel, ExactCardinalityModel
+from repro.engine.optimizer import Optimizer
+from repro.engine.pipelines import (
+    compute_stage_flows,
+    decompose_into_pipelines,
+    pipeline_input_cardinality,
+)
+from repro.engine.simulator import ExecutionSimulator
+from repro.engine.stages import Stage
+from repro.core.features import default_registry
+from repro.datagen.querygen import RandomQueryGenerator
+from repro.datagen.structures import QUERY_STRUCTURES
+from tests.conftest import build_toy_instance
+
+_INSTANCE = build_toy_instance()
+_GENERATOR = RandomQueryGenerator(_INSTANCE, seed=99)
+_OPTIMIZER = Optimizer(_INSTANCE.schema, _INSTANCE.catalog)
+_EXACT = ExactCardinalityModel(_INSTANCE.catalog)
+_SIMULATOR = ExecutionSimulator(_INSTANCE.catalog)
+_REGISTRY = default_registry()
+
+query_cases = st.tuples(
+    st.integers(min_value=0, max_value=len(QUERY_STRUCTURES) - 1),
+    st.integers(min_value=0, max_value=30),
+)
+
+_SETTINGS = dict(max_examples=60, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _plan(case):
+    structure_index, query_index = case
+    logical = _GENERATOR.generate(QUERY_STRUCTURES[structure_index],
+                                  query_index)
+    return _OPTIMIZER.optimize(logical, f"prop_{structure_index}_{query_index}")
+
+
+@settings(**_SETTINGS)
+@given(query_cases)
+def test_pipeline_count_matches_breaker_count(case):
+    """#pipelines == #build stages + 1 (every build ends one pipeline,
+    the root output ends the last)."""
+    plan = _plan(case)
+    pipelines = decompose_into_pipelines(plan)
+    builds = sum(1 for p in pipelines for ref in p.stages
+                 if ref.stage is Stage.BUILD)
+    assert len(pipelines) == builds + 1
+
+
+@settings(**_SETTINGS)
+@given(query_cases)
+def test_stage_partition(case):
+    """Pipelines partition the plan's operator stages exactly."""
+    plan = _plan(case)
+    expected = sum(len(op.stages) for op in plan.operators())
+    actual = sum(p.n_stages for p in decompose_into_pipelines(plan))
+    assert actual == expected
+
+
+@settings(**_SETTINGS)
+@given(query_cases)
+def test_flows_are_conserved_and_nonnegative(case):
+    plan = _plan(case)
+    for pipeline in decompose_into_pipelines(plan):
+        flows = compute_stage_flows(pipeline, _EXACT)
+        for previous, current in zip(flows, flows[1:]):
+            assert current.tuples_in == pytest.approx(previous.tuples_out)
+        for flow in flows:
+            assert flow.tuples_in >= 0 and flow.tuples_out >= 0
+
+
+@settings(**_SETTINGS)
+@given(query_cases)
+def test_feature_vectors_finite_nonnegative_fixed_size(case):
+    plan = _plan(case)
+    vectors, cards = _REGISTRY.vectors_for_plan(plan, _EXACT)
+    assert vectors.shape[1] == _REGISTRY.n_features
+    assert np.isfinite(vectors).all()
+    assert (vectors >= 0).all()
+    assert (cards >= 0).all()
+
+
+@settings(**_SETTINGS)
+@given(query_cases)
+def test_estimated_model_also_featurizes(case):
+    """The same plan must featurize under estimated cardinalities."""
+    plan = _plan(case)
+    model = EstimatedCardinalityModel(_INSTANCE.catalog)
+    vectors, _ = _REGISTRY.vectors_for_plan(plan, model)
+    assert np.isfinite(vectors).all()
+
+
+@settings(**_SETTINGS)
+@given(query_cases)
+def test_simulated_times_positive_and_additive(case):
+    plan = _plan(case)
+    pipelines = decompose_into_pipelines(plan)
+    times = [_SIMULATOR.pipeline_time(p) for p in pipelines]
+    assert all(t > 0 for t in times)
+    assert _SIMULATOR.query_time(plan) == pytest.approx(sum(times))
+
+
+@settings(**_SETTINGS)
+@given(query_cases)
+def test_output_cardinality_bounded_by_cross_product(case):
+    """No operator output may exceed the cross product of base tables
+    scaled by declared fan-outs (sanity bound on the exact model)."""
+    plan = _plan(case)
+    bound = 1.0
+    for table in plan.base_tables():
+        bound *= max(_INSTANCE.catalog.row_count(table), 1)
+    for op in plan.operators():
+        assert _EXACT.output_cardinality(op) <= bound * 64 + 1
+
+
+@settings(**_SETTINGS)
+@given(query_cases)
+def test_input_cardinality_positive_for_table_pipelines(case):
+    plan = _plan(case)
+    for pipeline in decompose_into_pipelines(plan):
+        assert pipeline_input_cardinality(pipeline, _EXACT) >= 0

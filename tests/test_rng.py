@@ -1,0 +1,33 @@
+"""Tests for deterministic seed derivation."""
+
+from repro.rng import DEFAULT_SEED, derive_rng, derive_seed, make_rng
+
+
+def test_same_labels_same_seed():
+    assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+
+def test_different_labels_different_seed():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_label_order_matters():
+    assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+
+def test_derive_rng_reproducible():
+    a = derive_rng(5, "x").integers(0, 1 << 30, size=4)
+    b = derive_rng(5, "x").integers(0, 1 << 30, size=4)
+    assert (a == b).all()
+
+
+def test_make_rng_uses_default_seed():
+    a = make_rng().integers(0, 1 << 30)
+    b = make_rng(DEFAULT_SEED).integers(0, 1 << 30)
+    assert a == b
+
+
+def test_labels_concatenation_is_unambiguous():
+    # ("ab", "c") must differ from ("a", "bc").
+    assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")

