@@ -1,0 +1,162 @@
+"""Serving throughput — micro-batched service vs sequential predict_query.
+
+Beyond-paper experiment for the serving subsystem (ISSUE 1): on a
+cached-plan workload, the service's request path is plan-cache lookup +
+one coalesced native batch call, while the offline path re-parses,
+re-optimizes, and re-featurizes every request. The acceptance bar is a
+>= 3x predictions/sec advantage for micro-batched serving, with
+``/metrics`` reporting non-zero stage latencies, cache hits, and queue
+statistics afterwards.
+
+Self-contained on the toy instance (no corpus cache needed), so it
+runs in seconds::
+
+    pytest benchmarks/test_srv01_serving_throughput.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.model import T3Config, T3Model
+from repro.datagen.workload import WorkloadBuilder, WorkloadConfig
+from repro.engine.cardinality import ExactCardinalityModel
+from repro.engine.optimizer import Optimizer
+from repro.engine.sqlparser import parse_sql
+from repro.errors import SchemaError
+from repro.experiments.reporting import print_table
+from repro.serving import (
+    ModelRegistry,
+    PredictionService,
+    ServingConfig,
+)
+from repro.trees.boosting import BoostingParams
+
+from tests.conftest import build_toy_instance
+
+QUERIES = [
+    "SELECT count(*) FROM orders WHERE o_total <= 500",
+    "SELECT count(*) FROM orders WHERE o_date <= 9000",
+    "SELECT count(*) FROM customer WHERE c_balance <= 100",
+    "SELECT count(*) FROM item WHERE i_price <= 250",
+    "SELECT o_status, count(*) FROM orders, customer "
+    "WHERE o_cust = c_id GROUP BY o_status",
+    "SELECT count(*) FROM orders, item WHERE o_item = i_id "
+    "AND i_price <= 100",
+]
+
+N_CLIENTS = 8
+BATCHES_PER_CLIENT = 20
+CLIENT_BATCH = 24            # queries per predict_many call
+SEQUENTIAL_SECONDS = 2.0
+
+
+def _sequential_rate(instance, model) -> float:
+    """Requests/sec of the offline single-request path: every request
+    parses, optimizes, featurizes, and predicts (what ``repro-t3
+    predict`` does per invocation)."""
+    optimizer = Optimizer(instance.schema, instance.catalog)
+    cards = ExactCardinalityModel(instance.catalog)
+    done = 0
+    start = time.perf_counter()
+    while time.perf_counter() - start < SEQUENTIAL_SECONDS:
+        sql = QUERIES[done % len(QUERIES)]
+        logical = parse_sql(sql, instance.schema, instance.catalog)
+        plan = optimizer.optimize(logical, f"seq_{done}")
+        model.predict_query(plan, cards)
+        done += 1
+    return done / (time.perf_counter() - start)
+
+
+def _served_rate(service) -> float:
+    """Predictions/sec of N_CLIENTS concurrent threads, each sending
+    micro-batches of CLIENT_BATCH queries (the optimizer-style call
+    shape: many candidate queries per request). Plans are cached after
+    the first round."""
+    for sql in QUERIES:  # warm the plan cache
+        service.predict(sql, "toy")
+    errors = []
+
+    def client(offset: int) -> None:
+        for i in range(BATCHES_PER_CLIENT):
+            batch = [(QUERIES[(offset + i + j) % len(QUERIES)], "toy")
+                     for j in range(CLIENT_BATCH)]
+            try:
+                service.predict_many(batch, timeout=30.0)
+            except Exception as exc:  # noqa: BLE001 - report below
+                errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(t,))
+               for t in range(N_CLIENTS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, errors[:3]
+    return N_CLIENTS * BATCHES_PER_CLIENT * CLIENT_BATCH / elapsed
+
+
+def test_serving_throughput(benchmark):
+    instance = build_toy_instance()
+    workload = WorkloadBuilder(
+        instance, WorkloadConfig(queries_per_structure=2,
+                                 include_fixed_benchmarks=False)).build()
+    model = T3Model.train(workload, T3Config(
+        boosting=BoostingParams(n_rounds=30, objective="mape",
+                                validation_fraction=0.2),
+        compile_to_native=True))
+
+    def resolve(name):
+        if name == "toy":
+            return instance
+        raise SchemaError(name)
+
+    registry = ModelRegistry()
+    registry.register(model, "toy-model")
+    service = PredictionService(
+        registry,
+        ServingConfig(batch_wait_s=0.0005, max_batch_rows=512,
+                      queue_capacity=2048),
+        instance_resolver=resolve)
+
+    sequential = _sequential_rate(instance, model)
+    served = _served_rate(service)
+    speedup = served / sequential
+
+    metrics = service.metrics_text()
+    stats = service.cache_stats()
+    batch_rows = service.metrics.get("t3_serving_batch_rows")
+
+    print_table(
+        "SRV-1: serving throughput (cached-plan workload)",
+        ["path", "req/s", "speedup"],
+        [["sequential predict_query", f"{sequential:,.0f}", "1.0x"],
+         [f"served ({N_CLIENTS} clients x {CLIENT_BATCH}-query batches)",
+          f"{served:,.0f}", f"{speedup:.1f}x"]],
+        note=f"cache hits={stats.hits} misses={stats.misses}  "
+             f"mean batch={batch_rows.mean():.1f} rows  "
+             f"backend={registry.get('toy-model').backend}")
+
+    # Acceptance: >= 3x the sequential predictions/sec.
+    assert speedup >= 3.0, (
+        f"served {served:,.0f} req/s vs sequential {sequential:,.0f} req/s "
+        f"= {speedup:.2f}x, expected >= 3x")
+
+    # Acceptance: /metrics reports non-zero stage latencies, cache hits,
+    # and queue stats after the run.
+    assert service.metrics.get("t3_serving_parse_seconds").sum > 0
+    assert service.metrics.get("t3_serving_featurize_seconds").sum > 0
+    assert service.metrics.get("t3_serving_infer_seconds").sum > 0
+    assert service.metrics.get("t3_serving_cache_hits_total").value > 0
+    assert service.metrics.get("t3_serving_batches_total").value > 0
+    assert "t3_serving_queue_depth" in metrics
+    assert "t3_serving_queue_capacity 2048" in metrics
+
+    # The steady-state request path, for the pytest-benchmark ledger.
+    batch = [(sql, "toy") for sql in QUERIES]
+    benchmark(lambda: service.predict_many(batch))
+
+    service.close()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Serving: run the online prediction service and hit it over HTTP.
+
+This demonstrates the full serving stack in one process:
+
+1. train a small T3 model and register it (warm-compiled) in a
+   versioned model registry,
+2. start the HTTP service — micro-batching queue, plan/feature cache,
+   admission control, metrics,
+3. issue concurrent ``POST /predict`` requests from client threads
+   (repeated queries hit the plan cache; concurrent requests coalesce
+   into single native batch calls),
+4. read back ``/healthz`` and ``/metrics``.
+
+Run:  python examples/serving.py
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+from repro import WorkloadConfig, build_corpus_workload
+from repro.core.model import T3Config, T3Model
+from repro.trees.boosting import BoostingParams
+from repro.serving import ModelRegistry, PredictionService, ServingConfig, ServingServer
+
+QUERIES = [
+    "SELECT count(*) FROM lineitem WHERE l_quantity <= 10",
+    "SELECT count(*) FROM orders WHERE o_totalprice <= 1000",
+    "SELECT o_orderpriority, count(*) FROM orders, lineitem "
+    "WHERE o_orderkey = l_orderkey GROUP BY o_orderpriority",
+    "SELECT count(*) FROM customer WHERE c_acctbal <= 500",
+]
+
+
+def post_predict(url: str, sql: str, instance: str = "tpch_sf1") -> dict:
+    body = json.dumps({"sql": sql, "instance": instance}).encode()
+    request = urllib.request.Request(f"{url}/predict", data=body,
+                                     method="POST")
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    print("1. Training a small T3 model ...")
+    workload = build_corpus_workload(
+        ["tpch_sf1", "financial"],
+        WorkloadConfig(queries_per_structure=3,
+                       include_fixed_benchmarks=False))
+    model = T3Model.train(workload, T3Config(
+        boosting=BoostingParams(n_rounds=50, objective="mape",
+                                validation_fraction=0.2)))
+
+    print("2. Starting the prediction service ...")
+    registry = ModelRegistry()
+    entry = registry.register(model, "tpch-demo")
+    service = PredictionService(registry, ServingConfig(batch_wait_s=0.001))
+    with ServingServer(service, port=0) as server:
+        print(f"   {server.url}  (model {entry.key}, "
+              f"backend: {entry.backend})")
+
+        print("3. One cold request (parse + featurize + infer):")
+        result = post_predict(server.url, QUERIES[0])
+        stages = result["stages"]
+        print(f"   predicted {result['predicted_seconds'] * 1e3:.3f} ms   "
+              f"cache_hit={result['cache_hit']}  "
+              f"parse={stages['parse_seconds'] * 1e6:.0f}us  "
+              f"featurize={stages['featurize_seconds'] * 1e6:.0f}us  "
+              f"infer={stages['infer_seconds'] * 1e6:.0f}us")
+
+        print("4. 200 concurrent requests over 4 distinct queries ...")
+        n_threads, per_thread = 8, 25
+        errors = []
+
+        def client(thread_index: int) -> None:
+            for i in range(per_thread):
+                sql = QUERIES[(thread_index + i) % len(QUERIES)]
+                try:
+                    post_predict(server.url, sql)
+                except Exception as exc:  # noqa: BLE001 - demo report
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(t,))
+                   for t in range(n_threads)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        total = n_threads * per_thread
+        print(f"   {total - len(errors)}/{total} ok in {elapsed:.2f}s "
+              f"({total / elapsed:,.0f} req/s)")
+
+        health = json.loads(urllib.request.urlopen(
+            f"{server.url}/healthz").read())
+        cache = health["plan_cache"]
+        print(f"5. /healthz: status={health['status']}  cache hits="
+              f"{cache['hits']} misses={cache['misses']}")
+
+        metrics = urllib.request.urlopen(f"{server.url}/metrics").read()
+        print("6. /metrics (excerpt):")
+        for line in metrics.decode().splitlines():
+            if line.startswith(("t3_serving_requests_total",
+                                "t3_serving_cache_hits_total",
+                                "t3_serving_batches_total",
+                                "t3_serving_infer_seconds_sum",
+                                "t3_serving_queue_depth")):
+                print(f"   {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,8 @@ Package layout
 ``repro.datagen``      21-instance corpus, query generation, benchmarking
 ``repro.baselines``    Zero-Shot / AutoWLM / Stage / C_out baselines
 ``repro.joinorder``    DPsize join ordering with pluggable cost models
+``repro.serving``      online prediction service: registry, micro-batching,
+                       plan cache, metrics, HTTP endpoints
 ``repro.experiments``  shared harness for the paper's tables and figures
 =====================  =====================================================
 """
@@ -42,6 +44,12 @@ from .datagen.workload import (
     build_corpus_workload,
 )
 from .experiments.context import ExperimentContext, ExperimentScale
+from .serving import (
+    ModelRegistry,
+    PredictionService,
+    ServingConfig,
+    ServingServer,
+)
 
 __version__ = "1.0.0"
 
@@ -69,5 +77,9 @@ __all__ = [
     "build_corpus_workload",
     "ExperimentContext",
     "ExperimentScale",
+    "ModelRegistry",
+    "PredictionService",
+    "ServingConfig",
+    "ServingServer",
     "__version__",
 ]

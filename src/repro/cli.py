@@ -8,7 +8,8 @@ Subcommands cover the library's end-to-end workflow:
 * ``evaluate``  — q-error of a saved model on a saved workload,
 * ``explain``   — show plan, pipelines, and feature vectors for a SQL
   query against a corpus instance,
-* ``predict``   — predict the execution time of a SQL query.
+* ``predict``   — predict the execution time of a SQL query,
+* ``serve``     — run the online prediction service (HTTP).
 
 Example session::
 
@@ -16,6 +17,9 @@ Example session::
     repro-t3 train -w train.pkl -o model.json
     repro-t3 predict -m model.json -i tpch_sf1 \\
         "SELECT count(*) FROM lineitem WHERE l_quantity <= 10"
+    repro-t3 serve -m model.json --port 8080 &
+    curl -X POST localhost:8080/predict -d \\
+        '{"sql": "SELECT count(*) FROM lineitem", "instance": "tpch_sf1"}'
 """
 
 from __future__ import annotations
@@ -82,6 +86,32 @@ def _build_parser() -> argparse.ArgumentParser:
     predict.add_argument("-m", "--model", required=True)
     predict.add_argument("-i", "--instance", required=True)
     predict.add_argument("sql")
+
+    serve = subcommands.add_parser(
+        "serve", help="run the online prediction service over HTTP")
+    serve.add_argument("-m", "--model", required=True, nargs="+",
+                       help="model JSON path(s); prefix with NAME= to "
+                            "register under a name (default: 'default')")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port; 0 binds an ephemeral port")
+    serve.add_argument("--port-file",
+                       help="write the bound port to this file once "
+                            "listening (for scripts and smoke tests)")
+    serve.add_argument("--batch-rows", type=int, default=256,
+                       help="max feature rows coalesced per native call")
+    serve.add_argument("--batch-wait-ms", type=float, default=2.0,
+                       help="micro-batch coalescing window")
+    serve.add_argument("--queue-size", type=int, default=512,
+                       help="admission-control bound on queued requests")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="plan/feature cache entries")
+    serve.add_argument("--timeout", type=float, default=5.0,
+                       help="default per-request deadline in seconds")
+    serve.add_argument("--no-compile", action="store_true",
+                       help="force the interpreted backend")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
     return parser
 
 
@@ -189,6 +219,47 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import (
+        ModelRegistry,
+        PredictionService,
+        ServingConfig,
+        ServingServer,
+    )
+
+    registry = ModelRegistry(compile_native=not args.no_compile)
+    for spec in args.model:
+        name, _, path = spec.rpartition("=")
+        if not Path(path).exists():
+            raise ReproError(f"model file not found: {path}")
+        entry = registry.load(path, name=name or None)
+        note = f" ({entry.fallback_reason})" if entry.fallback_reason else ""
+        print(f"loaded {entry.key} from {path} "
+              f"[{entry.backend}{note}]", file=sys.stderr)
+    config = ServingConfig(
+        max_batch_rows=args.batch_rows,
+        batch_wait_s=args.batch_wait_ms / 1000.0,
+        queue_capacity=args.queue_size,
+        plan_cache_size=args.cache_size,
+        default_timeout_s=args.timeout,
+        compile_native=not args.no_compile)
+    service = PredictionService(registry, config)
+    server = ServingServer(service, host=args.host, port=args.port,
+                           quiet=not args.verbose)
+    if args.port_file:
+        Path(args.port_file).write_text(f"{server.port}\n")
+    print(f"serving on {server.url}  "
+          "(POST /predict, GET /metrics, GET /healthz; Ctrl-C to stop)",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -205,6 +276,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_explain(args)
         if args.command == "predict":
             return _cmd_predict(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         raise ReproError(f"unknown command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -140,6 +140,20 @@ class T3Model:
 
     # -- plan-level prediction ----------------------------------------------------
 
+    def pipeline_times_from_raw(self, raw: np.ndarray,
+                                cards: np.ndarray) -> np.ndarray:
+        """Per-pipeline times from raw (transformed-space) predictions.
+
+        Shared by :meth:`predict_pipeline_times` and the serving layer,
+        which obtains ``raw`` through the micro-batching queue.
+        """
+        if self.config.target_mode is TargetMode.PER_QUERY:
+            raise TrainingError(
+                "per-query models do not produce pipeline times")
+        if self.config.target_mode is TargetMode.PER_TUPLE:
+            return inverse_transform(raw) * np.maximum(cards, 1.0)
+        return inverse_transform(raw)  # PER_PIPELINE: absolute times
+
     def predict_pipeline_times(self, plan: PhysicalPlan,
                                model: CardinalityModel) -> np.ndarray:
         """Predicted execution time of each pipeline of ``plan``."""
@@ -147,10 +161,8 @@ class T3Model:
         if self.config.target_mode is TargetMode.PER_QUERY:
             raise TrainingError(
                 "per-query models do not produce pipeline times")
-        raw = np.array([self.predict_raw_one(v) for v in vectors])
-        if self.config.target_mode is TargetMode.PER_TUPLE:
-            return inverse_transform(raw) * np.maximum(cards, 1.0)
-        return inverse_transform(raw)  # PER_PIPELINE: absolute times
+        raw = self.predict_raw_batch(np.ascontiguousarray(vectors))
+        return self.pipeline_times_from_raw(raw, cards)
 
     def predict_query(self, plan: PhysicalPlan,
                       model: CardinalityModel) -> float:

@@ -41,3 +41,21 @@ class CardinalityError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by query generation when constraints cannot be satisfied."""
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the online prediction service."""
+
+
+class ModelNotFoundError(ServingError):
+    """Raised when the model registry has no entry for a name/version."""
+
+
+class QueueFullError(ServingError):
+    """Raised when the prediction queue rejects a request (admission
+    control): the service is overloaded and degrades by shedding load
+    instead of growing an unbounded backlog."""
+
+
+class RequestTimeoutError(ServingError):
+    """Raised when a prediction request exceeds its per-request deadline."""

@@ -1,0 +1,273 @@
+"""Micro-batching of concurrent prediction requests.
+
+The compiled tree's batch entry point amortizes the ctypes call
+overhead over many rows (Table 2 of the paper: batch evaluation beats
+back-to-back single calls by orders of magnitude). The
+:class:`MicroBatcher` exploits that under concurrency: requests enqueue
+their per-pipeline feature matrices, a single worker thread drains the
+queue — waiting at most ``max_wait_s`` to coalesce up to
+``max_batch_rows`` rows — stacks the vectors, makes **one**
+``predict_raw_batch`` native call, and scatters the slices back to the
+waiting callers.
+
+Admission control is part of the contract: the queue is bounded
+(:class:`~repro.errors.QueueFullError` when full) and every request
+carries a deadline (:class:`~repro.errors.RequestTimeoutError`), so an
+overloaded service sheds load with typed errors instead of building an
+unbounded backlog.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..errors import QueueFullError, RequestTimeoutError, ServingError
+from .telemetry import MetricsRegistry
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+_SHUTDOWN = object()
+
+#: Batch-size histogram buckets (rows coalesced per native call).
+_BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass
+class _Request:
+    vectors: np.ndarray          # (n_pipelines, n_features), contiguous
+    future: "Future[np.ndarray]"
+    deadline: Optional[float]    # monotonic seconds, None = no deadline
+
+
+@dataclass
+class BatcherStats:
+    """Snapshot of the batcher's cumulative counters."""
+
+    requests: int = 0
+    batches: int = 0
+    rows: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+
+    @property
+    def mean_batch_rows(self) -> float:
+        return self.rows / self.batches if self.batches else 0.0
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into single native batch calls.
+
+    ``predict_batch`` maps a stacked ``(rows, n_features)`` matrix to a
+    vector of raw predictions; :meth:`submit` returns the slice
+    belonging to the caller's vectors, in order.
+    """
+
+    def __init__(self, predict_batch: Callable[[np.ndarray], np.ndarray],
+                 max_batch_rows: int = 256,
+                 max_wait_s: float = 0.002,
+                 queue_capacity: int = 512,
+                 metrics: Optional[MetricsRegistry] = None,
+                 name: str = "default"):
+        if max_batch_rows < 1:
+            raise ValueError("max_batch_rows must be >= 1")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self._predict_batch = predict_batch
+        self.max_batch_rows = int(max_batch_rows)
+        self.max_wait_s = float(max_wait_s)
+        self.queue_capacity = int(queue_capacity)
+        self.name = name
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_capacity)
+        self._stats = BatcherStats()
+        self._stats_lock = threading.Lock()
+        self._worker: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._closed = False
+        if metrics is not None:
+            self._m_batch_rows = metrics.histogram(
+                "t3_serving_batch_rows",
+                "rows coalesced per native batch call",
+                buckets=_BATCH_SIZE_BUCKETS)
+            metrics.gauge("t3_serving_queue_depth",
+                          "requests waiting in the prediction queue",
+                          function=self._queue.qsize)
+            metrics.gauge("t3_serving_queue_capacity",
+                          "bound of the prediction queue",
+                          function=lambda: self.queue_capacity)
+            self._m_rejected = metrics.counter(
+                "t3_serving_rejected_total",
+                "requests shed because the queue was full")
+            self._m_timeouts = metrics.counter(
+                "t3_serving_timeouts_total",
+                "requests that exceeded their deadline")
+            self._m_batches = metrics.counter(
+                "t3_serving_batches_total", "native batch calls issued")
+        else:
+            self._m_batch_rows = None
+            self._m_rejected = None
+            self._m_timeouts = None
+            self._m_batches = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "MicroBatcher":
+        if self._started.is_set():
+            return self
+        self._worker = threading.Thread(
+            target=self._run, name=f"t3-batcher-{self.name}", daemon=True)
+        self._started.set()
+        self._worker.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker; queued requests still get answered."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started.is_set():
+            self._queue.put(_SHUTDOWN)
+            assert self._worker is not None
+            self._worker.join(timeout)
+
+    # -- submission -------------------------------------------------------
+
+    def submit_async(self, vectors: np.ndarray,
+                     timeout: Optional[float] = None) -> "Future[np.ndarray]":
+        """Enqueue a feature matrix; the future resolves to raw scores."""
+        if self._closed:
+            raise ServingError("batcher is closed")
+        if not self._started.is_set():
+            self.start()
+        vectors = np.ascontiguousarray(vectors, dtype=np.float64)
+        if vectors.ndim == 1:
+            vectors = vectors.reshape(1, -1)
+        future: "Future[np.ndarray]" = Future()
+        if vectors.shape[0] == 0:
+            future.set_result(np.empty(0, dtype=np.float64))
+            return future
+        deadline = (time.monotonic() + timeout) if timeout else None
+        request = _Request(vectors, future, deadline)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            with self._stats_lock:
+                self._stats.rejected += 1
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
+            raise QueueFullError(
+                f"prediction queue full ({self.queue_capacity} waiting); "
+                "retry later or raise queue_capacity") from None
+        with self._stats_lock:
+            self._stats.requests += 1
+        return future
+
+    def submit(self, vectors: np.ndarray,
+               timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking :meth:`submit_async`; raises the typed errors."""
+        future = self.submit_async(vectors, timeout)
+        try:
+            return future.result(timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            with self._stats_lock:
+                self._stats.timeouts += 1
+            if self._m_timeouts is not None:
+                self._m_timeouts.inc()
+            raise RequestTimeoutError(
+                f"prediction did not complete within {timeout:.3f}s") from None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def stats(self) -> BatcherStats:
+        with self._stats_lock:
+            return BatcherStats(self._stats.requests, self._stats.batches,
+                                self._stats.rows, self._stats.rejected,
+                                self._stats.timeouts)
+
+    # -- worker -----------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch: List[_Request] = [item]
+            rows = len(item.vectors)
+            coalesce_until = time.monotonic() + self.max_wait_s
+            shutdown = False
+            while rows < self.max_batch_rows:
+                remaining = coalesce_until - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    shutdown = True
+                    break
+                batch.append(nxt)
+                rows += len(nxt.vectors)
+            self._evaluate(batch)
+            if shutdown:
+                return
+
+    def _evaluate(self, batch: List[_Request]) -> None:
+        now = time.monotonic()
+        live: List[_Request] = []
+        for request in batch:
+            if request.future.cancelled():
+                continue
+            if request.deadline is not None and now > request.deadline:
+                _try_set_exception(request.future, RequestTimeoutError(
+                    "request expired while waiting in the batch queue"))
+                continue
+            live.append(request)
+        if not live:
+            return
+        stacked = (live[0].vectors if len(live) == 1
+                   else np.vstack([r.vectors for r in live]))
+        try:
+            raw = np.asarray(self._predict_batch(stacked), dtype=np.float64)
+        except Exception as exc:  # propagate to every waiter
+            for request in live:
+                _try_set_exception(request.future, exc)
+            return
+        with self._stats_lock:
+            self._stats.batches += 1
+            self._stats.rows += len(stacked)
+        if self._m_batches is not None:
+            self._m_batches.inc()
+        if self._m_batch_rows is not None:
+            self._m_batch_rows.observe(len(stacked))
+        offset = 0
+        for request in live:
+            n = len(request.vectors)
+            _try_set_result(request.future, raw[offset:offset + n])
+            offset += n
+
+
+def _try_set_result(future: Future, value) -> None:
+    try:
+        future.set_result(value)
+    except Exception:  # cancelled or already resolved
+        pass
+
+
+def _try_set_exception(future: Future, exc: BaseException) -> None:
+    try:
+        future.set_exception(exc)
+    except Exception:
+        pass

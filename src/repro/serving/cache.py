@@ -1,0 +1,141 @@
+"""Plan/feature caching for the prediction service.
+
+Parsing, optimizing, and featurizing a query costs orders of magnitude
+more than evaluating the compiled tree (microseconds), so the service
+caches the *output* of that front half — the per-pipeline feature
+matrix and input cardinalities — keyed by ``(model, instance,
+normalized SQL)``. A repeated query then costs one native batch call.
+
+The cache is a plain LRU with hit/miss/eviction accounting; the
+service wires those counts into the metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+__all__ = ["CacheStats", "LRUCache", "normalize_sql"]
+
+_MISSING = object()
+
+
+def normalize_sql(sql: str) -> str:
+    """Canonical cache-key form of a SQL string.
+
+    Lowercases and collapses whitespace *outside* single-quoted string
+    literals (which stay byte-for-byte intact), and drops a trailing
+    semicolon — so ``"SELECT * FROM t;"`` and ``"select *\n from  t"``
+    share a cache entry while ``'abc'`` and ``'ABC'`` do not.
+    """
+    out = []
+    in_literal = False
+    pending_space = False
+    for ch in sql:
+        if in_literal:
+            out.append(ch)
+            if ch == "'":
+                in_literal = False
+            continue
+        if ch == "'":
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(ch)
+            in_literal = True
+            continue
+        if ch.isspace():
+            pending_space = True
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        out.append(ch.lower())
+    normalized = "".join(out)
+    if normalized.endswith(";"):
+        normalized = normalized[:-1].rstrip()
+    return normalized
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache accounting (monotonic counters)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LRUCache:
+    """A thread-safe least-recently-used cache.
+
+    ``on_hit`` / ``on_miss`` / ``on_evict`` callbacks let the owner
+    mirror the stats into external counters without the cache knowing
+    about any metrics system.
+    """
+
+    def __init__(self, capacity: int,
+                 on_hit: Optional[Callable[[], None]] = None,
+                 on_miss: Optional[Callable[[], None]] = None,
+                 on_evict: Optional[Callable[[], None]] = None):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+        self._on_hit = on_hit
+        self._on_miss = on_miss
+        self._on_evict = on_evict
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                callback = self._on_miss
+                value = default
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                callback = self._on_hit
+        if callback is not None:
+            callback()
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        evicted = 0
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                evicted += 1
+            callback = self._on_evict
+        if callback is not None:
+            for _ in range(evicted):
+                callback()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,208 @@
+"""Stdlib-only HTTP front end for the prediction service.
+
+Three endpoints, mirroring the smallest deployable surface of a cost
+prediction sidecar:
+
+* ``POST /predict`` — JSON body ``{"sql": ..., "instance": ...,
+  "model"?: ..., "version"?: ..., "timeout"?: ...}`` → the
+  :class:`~repro.serving.service.PredictionResult` as JSON. A JSON
+  *array* of such objects answers them as one micro-batch
+  (``PredictionService.predict_many``) and returns an array,
+* ``GET /metrics`` — Prometheus text exposition,
+* ``GET /healthz`` — liveness + registered models + cache stats.
+
+Typed service errors map to meaningful status codes so clients can
+distinguish overload (429, retryable) from bad requests (400, not):
+
+=============================================  ====
+:class:`~repro.errors.QueueFullError`          429
+:class:`~repro.errors.RequestTimeoutError`     504
+:class:`~repro.errors.ModelNotFoundError`      404
+any other :class:`~repro.errors.ReproError`    400
+anything else                                  500
+=============================================  ====
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from ..errors import (
+    ModelNotFoundError,
+    QueueFullError,
+    ReproError,
+    RequestTimeoutError,
+)
+from .service import PredictionService
+
+__all__ = ["ServingServer", "error_response"]
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB of SQL is a client bug, not a query
+
+
+def error_response(exc: Exception) -> Tuple[int, str]:
+    """Map an exception to ``(http_status, machine-readable code)``."""
+    if isinstance(exc, QueueFullError):
+        return 429, "queue_full"
+    if isinstance(exc, RequestTimeoutError):
+        return 504, "timeout"
+    if isinstance(exc, ModelNotFoundError):
+        return 404, "model_not_found"
+    if isinstance(exc, ReproError):
+        return 400, "bad_request"
+    return 500, "internal_error"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-t3/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # set by ServingServer subclassing machinery
+    service: PredictionService = None  # type: ignore[assignment]
+    quiet: bool = True
+
+    # -- helpers ----------------------------------------------------------
+
+    def _send_json(self, status: int, payload) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, code: str, message: str) -> None:
+        self._send_json(status, {"error": code, "message": message})
+
+    def log_message(self, fmt, *args):  # noqa: N802
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    # -- endpoints --------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802
+        if self.path == "/metrics":
+            self._send_text(200, self.service.metrics_text())
+        elif self.path == "/healthz":
+            self._send_json(200, self.service.health())
+        else:
+            self._send_error_json(404, "not_found",
+                                  f"no such endpoint: {self.path}")
+
+    def do_POST(self):  # noqa: N802
+        if self.path != "/predict":
+            self._send_error_json(404, "not_found",
+                                  f"no such endpoint: {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self._send_error_json(400, "bad_request",
+                                  "request body required (JSON), "
+                                  f"at most {_MAX_BODY_BYTES} bytes")
+            return
+        try:
+            request = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, "invalid_json", str(exc))
+            return
+        batch = isinstance(request, list)
+        items = request if batch else [request]
+        for item in items:
+            if not isinstance(item, dict) or \
+                    not isinstance(item.get("sql"), str) or \
+                    not isinstance(item.get("instance"), str):
+                self._send_error_json(
+                    400, "bad_request",
+                    'body must be a JSON object (or array of objects) '
+                    'with string "sql" and "instance" fields')
+                return
+        try:
+            if batch:
+                head = items[0] if items else {}
+                results = self.service.predict_many(
+                    [(item["sql"], item["instance"]) for item in items],
+                    model=head.get("model"),
+                    version=head.get("version"),
+                    timeout=head.get("timeout"))
+                self._send_json(200, [r.to_json() for r in results])
+            else:
+                result = self.service.predict(
+                    items[0]["sql"], items[0]["instance"],
+                    model=items[0].get("model"),
+                    version=items[0].get("version"),
+                    timeout=items[0].get("timeout"))
+                self._send_json(200, result.to_json())
+        except Exception as exc:
+            status, code = error_response(exc)
+            self._send_error_json(status, code, str(exc))
+
+
+class ServingServer:
+    """A threading HTTP server bound to one :class:`PredictionService`.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` for the real
+    one. :meth:`start` serves from a background thread (tests,
+    embedding); :meth:`serve_forever` blocks (the CLI).
+    """
+
+    def __init__(self, service: PredictionService, host: str = "127.0.0.1",
+                 port: int = 8080, quiet: bool = True):
+        handler = type("BoundHandler", (_Handler,),
+                       {"service": service, "quiet": quiet})
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServingServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="t3-serving-http",
+                daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting requests and close the service."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> "ServingServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

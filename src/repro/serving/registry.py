@@ -1,0 +1,169 @@
+"""Model registry: load, version, and warm-compile T3 models.
+
+The registry owns every model a service can answer with. Each
+``register``/``load`` produces a new immutable :class:`ModelEntry`
+under a name, with versions numbered from 1; lookups default to the
+newest version, so rolling out a retrained model is ``load`` + done,
+and the previous version stays addressable for comparison traffic.
+
+Registration *warm-compiles*: the ensemble is compiled to native code
+up front (never on the request path) and a throwaway prediction is run
+so the first real request pays neither compile nor lazy-initialisation
+cost. When :func:`~repro.treecomp.compiler.find_c_compiler` reports no
+compiler, the entry degrades to the interpreted backend and records
+why — the service keeps working everywhere the paper's "T3
+interpreted" baseline does.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..errors import ModelNotFoundError
+from ..core.model import PredictionBackend, T3Model
+from ..treecomp.compiler import find_c_compiler
+
+__all__ = ["DEFAULT_MODEL_NAME", "ModelEntry", "ModelRegistry"]
+
+DEFAULT_MODEL_NAME = "default"
+
+
+@dataclass
+class ModelEntry:
+    """One registered model version."""
+
+    name: str
+    version: int
+    model: T3Model
+    source: str                      # file path or "<memory>"
+    backend: str = "interpreted"     # "compiled" | "interpreted"
+    fallback_reason: Optional[str] = None
+    warmup_seconds: float = 0.0
+    registered_at: float = field(default_factory=time.time)
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    @property
+    def n_features(self) -> int:
+        return self.model.booster.n_features
+
+    def describe(self) -> Dict[str, object]:
+        info: Dict[str, object] = {
+            "name": self.name,
+            "version": self.version,
+            "source": self.source,
+            "backend": self.backend,
+            "n_features": self.n_features,
+            "n_trees": len(self.model.booster.trees),
+            "warmup_seconds": round(self.warmup_seconds, 6),
+        }
+        if self.fallback_reason:
+            info["fallback_reason"] = self.fallback_reason
+        return info
+
+
+class ModelRegistry:
+    """Thread-safe, versioned collection of serveable models."""
+
+    def __init__(self, compile_native: bool = True):
+        self.compile_native = compile_native
+        self._versions: Dict[str, List[ModelEntry]] = {}
+        self._lock = threading.Lock()
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, model: T3Model, name: str = DEFAULT_MODEL_NAME,
+                 source: str = "<memory>") -> ModelEntry:
+        """Add a model under ``name`` as the next version, warmed up."""
+        backend, reason, warmup = self._warm(model)
+        with self._lock:
+            versions = self._versions.setdefault(name, [])
+            entry = ModelEntry(name=name, version=len(versions) + 1,
+                               model=model, source=source, backend=backend,
+                               fallback_reason=reason, warmup_seconds=warmup)
+            versions.append(entry)
+        return entry
+
+    def load(self, path: Union[str, Path],
+             name: Optional[str] = None) -> ModelEntry:
+        """Load a saved model JSON (``T3Model.save``) and register it."""
+        path = Path(path)
+        model = T3Model.load(path, compile_to_native=False)
+        return self.register(model, name=name or DEFAULT_MODEL_NAME,
+                             source=str(path))
+
+    def _warm(self, model: T3Model):
+        """Compile (or fall back) and run one throwaway prediction."""
+        start = time.perf_counter()
+        backend, reason = "interpreted", None
+        if not self.compile_native:
+            reason = "native compilation disabled"
+        elif find_c_compiler() is None:
+            reason = "no C compiler found (looked for cc/gcc/clang)"
+        elif model.compile():
+            backend = "compiled"
+        else:
+            reason = "compilation failed"
+        if backend == "interpreted":
+            model.use_backend(PredictionBackend.INTERPRETED)
+        probe = np.zeros((1, model.booster.n_features), dtype=np.float64)
+        model.predict_raw_batch(probe)
+        return backend, reason, time.perf_counter() - start
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, name: Optional[str] = None,
+            version: Optional[int] = None) -> ModelEntry:
+        """Resolve a model; newest version wins when unspecified.
+
+        A ``None`` name means the default model — ``"default"`` if
+        registered, otherwise the registry's only name.
+        """
+        with self._lock:
+            if name is None:
+                if DEFAULT_MODEL_NAME in self._versions:
+                    name = DEFAULT_MODEL_NAME
+                elif len(self._versions) == 1:
+                    name = next(iter(self._versions))
+                else:
+                    raise ModelNotFoundError(
+                        "no default model; registered names: "
+                        f"{sorted(self._versions) or 'none'}")
+            versions = self._versions.get(name)
+            if not versions:
+                raise ModelNotFoundError(
+                    f"unknown model {name!r}; registered names: "
+                    f"{sorted(self._versions) or 'none'}")
+            if version is None:
+                return versions[-1]
+            for entry in versions:
+                if entry.version == version:
+                    return entry
+            raise ModelNotFoundError(
+                f"model {name!r} has no version {version} "
+                f"(have 1..{len(versions)})")
+
+    def entries(self) -> List[ModelEntry]:
+        with self._lock:
+            return [entry for versions in self._versions.values()
+                    for entry in versions]
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._versions)
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def close(self) -> None:
+        """Release compiled-library build directories of all entries."""
+        for entry in self.entries():
+            entry.model.close()

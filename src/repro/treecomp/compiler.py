@@ -34,6 +34,24 @@ def find_c_compiler() -> Optional[str]:
     return None
 
 
+def compiler_info() -> Optional[str]:
+    """One-line description of the system C compiler, or ``None``.
+
+    Used by the serving health endpoint to report whether predictions
+    run through the compiled or the interpreted backend.
+    """
+    path = find_c_compiler()
+    if path is None:
+        return None
+    try:
+        result = subprocess.run([path, "--version"], capture_output=True,
+                                text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return path
+    first_line = (result.stdout or "").strip().splitlines()
+    return first_line[0] if first_line else path
+
+
 class CompiledTreeModel:
     """A tree ensemble compiled to a native shared library.
 
