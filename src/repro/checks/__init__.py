@@ -1,0 +1,43 @@
+"""Static-analysis subsystem: prove T3's invariants without running them.
+
+Four analyzers behind one driver (``repro-t3 check``):
+
+* :mod:`~repro.checks.codegen_verify` — parse generated C back into a
+  tree structure and verify structural equivalence with the trained
+  model (rules ``CG...``),
+* :mod:`~repro.checks.feature_schema` — detect drift between feature
+  declarations, emit sites, and persisted models (``FS...``),
+* :mod:`~repro.checks.lockcheck` — lexical lock-discipline analysis of
+  the multithreaded serving code (``LK...``),
+* :mod:`~repro.checks.lint` — project-wide conventions: typed errors,
+  no bare except, no mutable defaults, no print, seeded randomness
+  (``PL...``).
+
+Findings carry ``file:line``, a stable rule id, and a severity; a
+TOML baseline (``checks_baseline.toml``) grandfathers known findings so
+the driver can gate CI on *new* ones only.
+"""
+
+from .codegen_verify import parse_c_source, self_check_model, verify_codegen
+from .driver import ANALYZERS, RULES, CheckReport, run_checks
+from .feature_schema import check_feature_schema
+from .findings import Baseline, Finding, Severity, Suppression
+from .lint import check_lint
+from .lockcheck import check_lock_discipline
+
+__all__ = [
+    "ANALYZERS",
+    "Baseline",
+    "CheckReport",
+    "Finding",
+    "RULES",
+    "Severity",
+    "Suppression",
+    "check_feature_schema",
+    "check_lint",
+    "check_lock_discipline",
+    "parse_c_source",
+    "run_checks",
+    "self_check_model",
+    "verify_codegen",
+]

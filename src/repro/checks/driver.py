@@ -1,0 +1,184 @@
+"""Unified driver for the static-analysis subsystem (`repro-t3 check`).
+
+Runs the four analyzers, applies the baseline, and renders findings.
+Each analyzer owns a rule-id prefix; ``<prefix>000`` is reserved for
+"the analyzer itself could not run", so a crashed check fails the build
+instead of passing silently.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CheckError
+from ..trees.boosting import BoostedTreesModel
+from ..trees.serialize import loads_model
+from .codegen_verify import self_check_model, verify_codegen
+from .feature_schema import check_feature_schema
+from .findings import (
+    Baseline,
+    Finding,
+    Severity,
+    render_json,
+    render_text,
+)
+from .lint import check_lint
+from .lockcheck import check_lock_discipline
+
+__all__ = ["ANALYZERS", "RULES", "CheckReport", "run_checks",
+           "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "checks_baseline.toml"
+
+#: rule id -> one-line description (the check's contract).
+RULES: Dict[str, str] = {
+    "CG000": "codegen verifier could not run",
+    "CG001": "generated C source cannot be parsed back into a tree",
+    "CG002": "tree-function count or numbering mismatch",
+    "CG003": "node/leaf structure differs from the trained model",
+    "CG004": "feature index mismatch or outside [0, n_features)",
+    "CG005": "threshold does not round-trip through repr(float)",
+    "CG006": "leaf value does not round-trip through repr(float)",
+    "CG007": "base score mismatch",
+    "CG008": "predict/predict_batch/n_features export inconsistency",
+    "CG009": "parsed code and model disagree on a probe vector",
+    "CG010": "bare non-finite float literal in generated C",
+    "FS000": "feature-schema detector could not run",
+    "FS001": "feature emitted by the extractor but never declared",
+    "FS002": "feature declared but never emitted",
+    "FS003": "feature index/order drift between layouts",
+    "FS004": "persisted model n_features mismatch",
+    "FS005": "declared (operator, stage) pair the engine never produces",
+    "FS006": "duplicate feature within one stage declaration",
+    "LK000": "lock-discipline checker could not run",
+    "LK001": "attribute guarded elsewhere but accessed without the lock",
+    "LK002": "shared mutable attribute never accessed under a lock",
+    "PL000": "project lint could not run",
+    "PL001": "untyped raise in library code",
+    "PL002": "bare except",
+    "PL003": "mutable default argument",
+    "PL004": "print() in library code",
+    "PL005": "unseeded numpy.random outside rng.py",
+}
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one driver run."""
+
+    findings: List[Finding]        # new (unsuppressed) findings
+    suppressed: List[Finding]
+    analyzers_run: List[str]
+    elapsed_seconds: float
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "json":
+            payload = json.loads(render_json(self.findings, self.suppressed))
+            payload["analyzers"] = self.analyzers_run
+            payload["elapsed_seconds"] = round(self.elapsed_seconds, 3)
+            return json.dumps(payload, indent=2)
+        if fmt == "text":
+            return render_text(self.findings, self.suppressed)
+        raise CheckError(f"unknown output format {fmt!r} (use text or json)")
+
+
+def _load_booster(model_path: Union[str, Path]) -> BoostedTreesModel:
+    """Accept either a T3Model JSON or a bare tree-model document."""
+    path = Path(model_path)
+    if not path.exists():
+        raise CheckError(f"model file not found: {path}")
+    text = path.read_text()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckError(f"model file {path} is not JSON: {exc}") from exc
+    if isinstance(payload, dict) and "model" in payload:
+        return loads_model(json.dumps(payload["model"]))
+    return loads_model(text)
+
+
+def _run_codegen(model_path: Optional[str]) -> List[Finding]:
+    if model_path is not None:
+        booster = _load_booster(model_path)
+        label = Path(model_path).name
+    else:
+        booster = self_check_model()
+        label = "<self-check model>"
+    return verify_codegen(booster, path=f"<generated C for {label}>")
+
+
+#: analyzer name -> (rule-id prefix, runner taking the model path).
+ANALYZERS: Dict[str, Tuple[str, Callable[[Optional[str]], List[Finding]]]] = {
+    "codegen": ("CG", _run_codegen),
+    "feature-schema": ("FS",
+                       lambda model: check_feature_schema(model_path=model)),
+    "lockcheck": ("LK", lambda model: check_lock_discipline()),
+    "lint": ("PL", lambda model: check_lint()),
+}
+
+
+def _selected_analyzers(rules: Optional[Sequence[str]]) -> Dict[str, bool]:
+    """Which analyzers a ``--rule`` selection touches (all when empty)."""
+    if not rules:
+        return {name: True for name in ANALYZERS}
+    prefixes = {rule[:2].upper() for rule in rules}
+    unknown = [rule for rule in rules
+               if rule.upper() not in RULES
+               and rule[:2].upper() not in {p for p, _ in ANALYZERS.values()}]
+    if unknown:
+        raise CheckError(
+            f"unknown rule(s) {', '.join(sorted(unknown))}; "
+            f"known rules: {', '.join(sorted(RULES))}")
+    return {name: prefix in prefixes
+            for name, (prefix, _) in ANALYZERS.items()}
+
+
+def run_checks(rules: Optional[Sequence[str]] = None,
+               baseline: Optional[Union[str, Path, Baseline]] = None,
+               model_path: Optional[str] = None) -> CheckReport:
+    """Run the selected analyzers and apply the baseline.
+
+    ``rules`` filters by full id (``LK001``) or analyzer prefix
+    (``LK``); empty means everything. ``baseline`` may be a path or a
+    loaded :class:`Baseline`. ``model_path`` feeds the codegen verifier
+    and the schema drift detector a persisted model to cross-check.
+    """
+    started = time.perf_counter()
+    selected = _selected_analyzers(rules)
+    wanted = {rule.upper() for rule in rules} if rules else None
+
+    findings: List[Finding] = []
+    analyzers_run: List[str] = []
+    for name, (prefix, runner) in ANALYZERS.items():
+        if not selected[name]:
+            continue
+        analyzers_run.append(name)
+        try:
+            produced = runner(model_path)
+        except CheckError as exc:
+            produced = [Finding(f"{prefix}000", Severity.ERROR,
+                                "<driver>", 0, str(exc))]
+        findings.extend(produced)
+
+    if wanted is not None:
+        findings = [f for f in findings
+                    if f.rule in wanted or f.rule[:2] in wanted]
+
+    if baseline is None:
+        loaded = Baseline()
+    elif isinstance(baseline, Baseline):
+        loaded = baseline
+    else:
+        loaded = Baseline.load(baseline)
+    new, suppressed = loaded.split(findings)
+    return CheckReport(findings=new, suppressed=suppressed,
+                       analyzers_run=analyzers_run,
+                       elapsed_seconds=time.perf_counter() - started)

@@ -1,0 +1,218 @@
+"""Project lint rules — repo conventions enforced over ``src/repro``.
+
+These are the conventions the codebase already follows on purpose;
+the rules keep them true as the system grows:
+
+* **PL001** — library code raises only :class:`~repro.errors.ReproError`
+  subclasses (callers catch one base class at API boundaries). The
+  allowed set is read from ``errors.py`` itself, so adding an error
+  class there is all it takes. ``cli.py`` and ``serving/http.py`` are
+  process edges and exempt; ``NotImplementedError`` and re-raises are
+  always fine.
+* **PL002** — no bare ``except:`` (it swallows ``KeyboardInterrupt``).
+* **PL003** — no mutable default arguments.
+* **PL004** — no ``print()`` in library code; the CLI, the HTTP access
+  log, and the designated console reporter
+  (``experiments/reporting.py``) are exempt.
+* **PL005** — no unseeded :mod:`numpy.random` use outside ``rng.py``:
+  legacy module-level functions (``np.random.rand`` et al.) and
+  argument-less ``np.random.default_rng()`` draw from global or OS
+  entropy and break end-to-end reproducibility.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Set, Union
+
+from ..errors import CheckError
+from .findings import Finding, Severity
+
+__all__ = ["allowed_exception_names", "check_lint", "lint_source"]
+
+_PACKAGE_ROOT = Path(__file__).resolve().parents[1]
+
+#: Modules allowed to raise anything (process edges: exit codes, HTTP).
+_RAISE_EXEMPT = {"cli.py", "serving/http.py"}
+
+#: Modules allowed to call print() (user-facing output is their job).
+_PRINT_EXEMPT = {"cli.py", "serving/http.py", "experiments/reporting.py"}
+
+#: Modules allowed to construct numpy generators however they like.
+_RANDOM_EXEMPT = {"rng.py"}
+
+#: Exceptions any library module may raise besides ReproError subclasses.
+_ALWAYS_ALLOWED_RAISES = {"NotImplementedError", "StopIteration",
+                          "KeyboardInterrupt"}
+
+#: numpy.random module-level functions that use the unseeded global state.
+_LEGACY_NP_RANDOM = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf", "sample",
+    "choice", "shuffle", "permutation", "seed", "normal", "uniform",
+    "standard_normal", "exponential", "poisson", "binomial", "bytes",
+}
+
+
+def allowed_exception_names(
+        errors_path: Optional[Union[str, Path]] = None) -> Set[str]:
+    """Class names defined in ``errors.py`` (all ReproError subclasses)."""
+    path = Path(errors_path) if errors_path else _PACKAGE_ROOT / "errors.py"
+    if not path.exists():
+        raise CheckError(f"errors module not found: {path}")
+    tree = ast.parse(path.read_text(), filename=str(path))
+    return {node.name for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)}
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def lint_source(source: str, rel_path: str,
+                allowed_raises: Set[str]) -> List[Finding]:
+    """Apply every lint rule to one module."""
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        raise CheckError(f"cannot parse {rel_path}: {exc}") from exc
+
+    findings: List[Finding] = []
+    check_raises = rel_path not in _RAISE_EXEMPT
+    check_print = rel_path not in _PRINT_EXEMPT
+    check_random = rel_path not in _RANDOM_EXEMPT
+    full_rel = f"src/repro/{rel_path}"
+    allowed_raises = allowed_raises | _local_subclasses(tree, allowed_raises)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Raise) and check_raises:
+            _check_raise(node, allowed_raises, full_rel, findings)
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(Finding(
+                "PL002", Severity.ERROR, full_rel, node.lineno,
+                "bare 'except:' swallows KeyboardInterrupt and SystemExit; "
+                "catch Exception (or something narrower)"))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.Lambda)):
+            _check_defaults(node, full_rel, findings)
+        elif isinstance(node, ast.Call):
+            if (check_print and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                findings.append(Finding(
+                    "PL004", Severity.ERROR, full_rel, node.lineno,
+                    "print() in library code; raise a typed error or "
+                    "return the text to the caller"))
+            if check_random:
+                _check_random_call(node, full_rel, findings)
+    return findings
+
+
+def _local_subclasses(tree: ast.Module, allowed: Set[str]) -> Set[str]:
+    """Module-local classes deriving (transitively) from an allowed one.
+
+    A module may define its own ReproError subclasses (e.g. ``SQLError``
+    in the SQL parser); raising those keeps the typed-error contract.
+    """
+    local: Set[str] = set()
+    classes = [node for node in ast.walk(tree)
+               if isinstance(node, ast.ClassDef)]
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in local:
+                continue
+            for base in cls.bases:
+                name = (base.id if isinstance(base, ast.Name)
+                        else base.attr if isinstance(base, ast.Attribute)
+                        else None)
+                if name in allowed or name in local:
+                    local.add(cls.name)
+                    changed = True
+                    break
+    return local
+
+
+def _check_raise(node: ast.Raise, allowed: Set[str], rel: str,
+                 findings: List[Finding]) -> None:
+    exc = node.exc
+    if exc is None:
+        return  # bare re-raise inside an except block
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    name = None
+    if isinstance(exc, ast.Name):
+        name = exc.id
+    elif isinstance(exc, ast.Attribute):
+        name = exc.attr
+    if name is None:
+        return  # raising a variable — out of scope for a lexical rule
+    if name in allowed or name in _ALWAYS_ALLOWED_RAISES:
+        return
+    findings.append(Finding(
+        "PL001", Severity.ERROR, rel, node.lineno,
+        f"raises {name}; library code must raise ReproError subclasses "
+        "(see errors.py) so callers can catch one base class"))
+
+
+def _check_defaults(node: Union[ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda],
+                    rel: str, findings: List[Finding]) -> None:
+    defaults = list(node.args.defaults) + [
+        d for d in node.args.kw_defaults if d is not None]
+    for default in defaults:
+        mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+        if (isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in {"list", "dict", "set", "bytearray"}):
+            mutable = True
+        if mutable:
+            name = getattr(node, "name", "<lambda>")
+            findings.append(Finding(
+                "PL003", Severity.ERROR, rel, default.lineno,
+                f"mutable default argument in {name}(); defaults are "
+                "evaluated once and shared across calls — default to None"))
+
+
+def _check_random_call(node: ast.Call, rel: str,
+                       findings: List[Finding]) -> None:
+    dotted = _dotted(node.func)
+    if dotted is None:
+        return
+    parts = dotted.split(".")
+    if len(parts) != 3 or parts[0] not in {"np", "numpy"}:
+        return
+    if parts[1] != "random":
+        return
+    if parts[2] in _LEGACY_NP_RANDOM:
+        findings.append(Finding(
+            "PL005", Severity.ERROR, rel, node.lineno,
+            f"{dotted}() uses numpy's unseeded global state; take an "
+            "np.random.Generator derived via repro.rng instead"))
+    elif parts[2] == "default_rng" and not node.args and not node.keywords:
+        findings.append(Finding(
+            "PL005", Severity.ERROR, rel, node.lineno,
+            "np.random.default_rng() without a seed draws OS entropy; "
+            "derive the seed via repro.rng for reproducibility"))
+
+
+def check_lint(root: Optional[Union[str, Path]] = None) -> List[Finding]:
+    """Lint every module under ``root`` (default: the repro package)."""
+    root = Path(root) if root else _PACKAGE_ROOT
+    if not root.is_dir():
+        raise CheckError(f"lint root is not a directory: {root}")
+    allowed = allowed_exception_names(
+        root / "errors.py" if (root / "errors.py").exists() else None)
+    findings: List[Finding] = []
+    for file_path in sorted(root.rglob("*.py")):
+        rel = file_path.relative_to(root).as_posix()
+        findings.extend(lint_source(file_path.read_text(), rel, allowed))
+    return findings

@@ -1,0 +1,282 @@
+"""AST-based lock-discipline analysis for the serving subsystem.
+
+PR 1 made the library multithreaded: the micro-batching queue, model
+registry, plan cache, and telemetry instruments are all touched from
+request threads and the batch worker concurrently. This analyzer is a
+lightweight lexical race detector over that code:
+
+1. For every class that owns a lock (``self.x = threading.Lock()`` /
+   ``RLock`` / ``Condition``), it learns the *guarded set* — attributes
+   assigned or read inside ``with self.<lock>:`` blocks.
+2. **LK001** — an attribute that is guarded somewhere but also accessed
+   outside any lock block (in a method other than ``__init__``) is
+   inconsistently protected: either the lock is unnecessary or the
+   unguarded access is a race.
+3. **LK002** — an attribute of a lock-owning class that is *written*
+   outside ``__init__`` without ever being guarded is unsynchronized
+   shared mutable state.
+
+The model is deliberately lexical (no aliasing, no happens-before):
+``__init__`` and ``__del__`` are exempt (construction and finalization
+are single-threaded), closures are treated as escaping their lock
+scope, and method calls on an attribute do not count as writes — so
+attributes holding intrinsically thread-safe objects (``queue.Queue``,
+``threading.Event``) assigned once in ``__init__`` never trigger.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import CheckError
+from .findings import Finding, Severity
+
+__all__ = ["AttributeAccess", "scan_source", "check_lock_discipline"]
+
+_PACKAGE_ROOT = Path(__file__).resolve().parents[1]
+_DEFAULT_SCOPE = (_PACKAGE_ROOT / "serving",)
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+
+@dataclass(frozen=True)
+class AttributeAccess:
+    """One lexical access to ``self.<attr>`` inside a method."""
+
+    attr: str
+    line: int
+    method: str
+    write: bool      # Store/AugAssign target, or base of a nested store
+    guarded: bool    # lexically inside a ``with self.<lock>:`` block
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.x`` -> ``"x"``; anything else -> None."""
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _innermost_self_attr(node: ast.expr) -> Optional[ast.Attribute]:
+    """The ``self.x`` at the base of ``self.x.y[z]...``, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if _self_attr(node) is not None:
+            return node  # type: ignore[return-value]
+        node = node.value
+    return None
+
+
+def _is_lock_factory(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    return False
+
+
+class _MethodScanner:
+    """Walk one method body tracking the lexical lock depth."""
+
+    def __init__(self, method: str, lock_attrs: Set[str],
+                 accesses: List[AttributeAccess]):
+        self.method = method
+        self.lock_attrs = lock_attrs
+        self.accesses = accesses
+        self.depth = 0
+
+    # -- recording --------------------------------------------------------
+
+    def _record(self, node: ast.expr, write: bool) -> None:
+        attr = _self_attr(node)
+        if attr is None or attr in self.lock_attrs:
+            return
+        self.accesses.append(AttributeAccess(
+            attr=attr, line=node.lineno, method=self.method,
+            write=write, guarded=self.depth > 0))
+
+    def _record_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element)
+            return
+        base = _innermost_self_attr(target)
+        if base is not None:
+            self._record(base, write=True)
+        # Subscript slices and attribute chains above the base are reads.
+        if isinstance(target, ast.Subscript):
+            self._scan_expr(target.slice)
+
+    # -- traversal --------------------------------------------------------
+
+    def scan_body(self, statements: Iterable[ast.stmt]) -> None:
+        for statement in statements:
+            self._scan_stmt(statement)
+
+    def _scan_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.With) or isinstance(node, ast.AsyncWith):
+            acquired = 0
+            for item in node.items:
+                expr = item.context_expr
+                if (_self_attr(expr) in self.lock_attrs):
+                    acquired += 1
+                else:
+                    self._scan_expr(expr)
+                if item.optional_vars is not None:
+                    self._record_target(item.optional_vars)
+            self.depth += acquired
+            self.scan_body(node.body)
+            self.depth -= acquired
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                self._record_target(target)
+            if node.value is not None:
+                self._scan_expr(node.value)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._record_target(target)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function may outlive the lock scope: scan it as
+            # unguarded code.
+            saved, self.depth = self.depth, 0
+            self.scan_body(node.body)
+            self.depth = saved
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._scan_stmt(child)
+            elif isinstance(child, ast.expr):
+                self._scan_expr(child)
+
+    def _scan_expr(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Lambda):
+            saved, self.depth = self.depth, 0
+            self._scan_expr(node.body)
+            self.depth = saved
+            return
+        attr = _self_attr(node)
+        if attr is not None:
+            self._record(node, write=isinstance(node.ctx, (ast.Store,
+                                                           ast.Del)))
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child)
+
+
+def _class_lock_attrs(cls: ast.ClassDef) -> Set[str]:
+    locks: Set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and _is_lock_factory(node.value):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    locks.add(attr)
+    return locks
+
+
+_EXEMPT_METHODS = {"__init__", "__new__", "__del__"}
+
+
+def scan_source(source: str, path: str
+                ) -> List[Tuple[str, Set[str], List[AttributeAccess]]]:
+    """Per lock-owning class: (name, lock attrs, accesses outside init)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise CheckError(f"cannot parse {path}: {exc}") from exc
+    results = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        locks = _class_lock_attrs(node)
+        if not locks:
+            continue
+        accesses: List[AttributeAccess] = []
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _EXEMPT_METHODS:
+                continue
+            scanner = _MethodScanner(item.name, locks, accesses)
+            scanner.scan_body(item.body)
+        results.append((node.name, locks, accesses))
+    return results
+
+
+def check_lock_discipline(paths: Optional[Sequence[Union[str, Path]]] = None
+                          ) -> List[Finding]:
+    """Analyze every ``.py`` file under ``paths`` (default: serving/)."""
+    files: List[Path] = []
+    for root in (paths or _DEFAULT_SCOPE):
+        root = Path(root)
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        elif root.exists():
+            files.append(root)
+        else:
+            raise CheckError(f"lockcheck path not found: {root}")
+    findings: List[Finding] = []
+    for file_path in files:
+        rel = _relative(file_path)
+        for cls_name, locks, accesses in scan_source(
+                file_path.read_text(), str(file_path)):
+            findings.extend(_judge_class(cls_name, locks, accesses, rel))
+    return list(dict.fromkeys(findings))
+
+
+def _judge_class(cls_name: str, locks: Set[str],
+                 accesses: List[AttributeAccess], rel: str) -> List[Finding]:
+    findings: List[Finding] = []
+    guarded_attrs = {a.attr for a in accesses if a.guarded}
+    written_attrs = {a.attr for a in accesses if a.write}
+    by_attr: Dict[str, List[AttributeAccess]] = {}
+    for access in accesses:
+        by_attr.setdefault(access.attr, []).append(access)
+
+    lock_names = ", ".join(sorted(locks))
+    for attr, attr_accesses in sorted(by_attr.items()):
+        if attr in guarded_attrs:
+            if attr not in written_attrs:
+                continue  # guarded reads of effectively-immutable state
+            for access in attr_accesses:
+                if access.guarded:
+                    continue
+                verb = "written" if access.write else "read"
+                findings.append(Finding(
+                    "LK001", Severity.ERROR, rel, access.line,
+                    f"{cls_name}.{attr} is guarded by {lock_names} "
+                    f"elsewhere but {verb} without the lock in "
+                    f"{access.method}()"))
+        else:
+            writes = [a for a in attr_accesses if a.write]
+            if not writes:
+                continue
+            methods = sorted({a.method for a in attr_accesses})
+            for access in writes:
+                findings.append(Finding(
+                    "LK002", Severity.ERROR, rel, access.line,
+                    f"{cls_name}.{attr} is shared mutable state written in "
+                    f"{access.method}() but never accessed under a lock "
+                    f"(class holds {lock_names}; accessed from: "
+                    f"{', '.join(methods)})"))
+    return findings
+
+
+def _relative(path: Path) -> str:
+    parts = path.resolve().parts
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(("src",) + parts[index:])
+    return "/".join(parts[-2:])

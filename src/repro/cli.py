@@ -9,7 +9,9 @@ Subcommands cover the library's end-to-end workflow:
 * ``explain``   — show plan, pipelines, and feature vectors for a SQL
   query against a corpus instance,
 * ``predict``   — predict the execution time of a SQL query,
-* ``serve``     — run the online prediction service (HTTP).
+* ``serve``     — run the online prediction service (HTTP),
+* ``check``     — run the static-analysis suite (codegen verifier,
+  feature-schema drift, lock discipline, project lint).
 
 Example session::
 
@@ -112,6 +114,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="force the interpreted backend")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+
+    check = subcommands.add_parser(
+        "check", help="run the static-analysis suite over the repo")
+    check.add_argument("--rule", action="append", dest="rules", default=[],
+                       metavar="RULE",
+                       help="run only this rule id (LK001) or analyzer "
+                            "prefix (LK); repeatable")
+    check.add_argument("--format", default="text", choices=("text", "json"),
+                       dest="fmt", help="findings output format")
+    check.add_argument("--baseline", default=None,
+                       help="suppression TOML (default: checks_baseline.toml "
+                            "next to the current directory if present)")
+    check.add_argument("--no-baseline", action="store_true",
+                       help="ignore any baseline file")
+    check.add_argument("--model", default=None,
+                       help="saved model JSON to cross-check against the "
+                            "generated C and the live feature schema")
+    check.add_argument("--write-baseline", metavar="PATH",
+                       help="write current findings as a suppression "
+                            "baseline to PATH and exit 0")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print every rule id and exit")
     return parser
 
 
@@ -260,6 +284,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .checks import RULES, run_checks
+    from .checks.driver import DEFAULT_BASELINE_NAME
+    from .checks.findings import write_baseline
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}  {RULES[rule]}")
+        return 0
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        if args.baseline:
+            if not Path(args.baseline).exists():
+                raise ReproError(f"baseline file not found: {args.baseline}")
+            baseline = args.baseline
+        elif Path(DEFAULT_BASELINE_NAME).exists():
+            baseline = DEFAULT_BASELINE_NAME
+    report = run_checks(rules=args.rules or None, baseline=baseline,
+                        model_path=args.model)
+    if args.write_baseline:
+        write_baseline(report.findings, args.write_baseline)
+        print(f"wrote {len(report.findings)} suppression(s) "
+              f"to {args.write_baseline}")
+        return 0
+    print(report.render(args.fmt))
+    return report.exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -278,6 +330,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_predict(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "check":
+            return _cmd_check(args)
         raise ReproError(f"unknown command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

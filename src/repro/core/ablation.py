@@ -22,7 +22,6 @@ from enum import Enum
 import numpy as np
 
 from .dataset import PipelineDataset
-from .targets import transform_target  # noqa: F401 (re-exported)
 
 #: Clamp bounds for *absolute* time targets (seconds). Wider than the
 #: per-tuple bounds because whole pipelines/queries run up to minutes.

@@ -23,7 +23,6 @@ from ..metrics import QErrorSummary, summarize_predictions
 from ..trees.tree import LEAF, Tree
 from ..datagen.workload import BenchmarkedQuery
 from .dataset import CardinalityKind, build_dataset
-from .features import FeatureRegistry, default_registry
 from .model import T3Model
 
 

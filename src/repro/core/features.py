@@ -20,16 +20,13 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import FeatureError
+from ..errors import FeatureError, SchemaError
 from ..engine.cardinality import CardinalityModel
 from ..engine.expressions import ExpressionKind
 from ..engine.physical import (
-    PFilter,
     PGroupBy,
-    PhysicalOperator,
     PhysicalPlan,
     PIndexNLJoin,
-    PMap,
     PSort,
     PTableScan,
     PTopK,
@@ -150,6 +147,10 @@ class FeatureRegistry:
     def describe_vector(self, vector: np.ndarray,
                         skip_zeros: bool = True) -> str:
         """Render a vector the way the paper's listings do."""
+        if len(vector) != self.n_features:
+            raise SchemaError(
+                f"vector has {len(vector)} entries but the registry "
+                f"declares {self.n_features} features")
         lines = []
         for name, index in self._index.items():
             value = vector[index]
@@ -192,8 +193,11 @@ class FeatureRegistry:
         op = flow.ref.operator
         op_type, stage = op.op_type, flow.ref.stage
         key = (op_type, stage)
-        if key not in _STAGE_FEATURES and f"{op_type.value}_{stage.value}_count" not in self._index:
-            raise FeatureError(f"no features declared for {key}")
+        if f"{op_type.value}_{stage.value}_count" not in self._index:
+            raise SchemaError(
+                f"pipeline produced stage ({op_type.value}, {stage.value}) "
+                "that the feature registry does not know; declare it in "
+                "OPERATOR_STAGES and _STAGE_FEATURES")
         self._add(vector, op_type, stage, "count", 1.0)
         declared = _STAGE_FEATURES.get(key, ())
         values = self._basic_features(flow, start, model, declared)

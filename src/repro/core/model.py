@@ -15,11 +15,11 @@ import json
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import CompilationError, TrainingError
+from ..errors import CompilationError, SchemaError, TrainingError
 from ..metrics import QErrorSummary, summarize_predictions
 from ..rng import DEFAULT_SEED
 from ..engine.cardinality import CardinalityModel
@@ -29,7 +29,7 @@ from ..trees.boosting import BoostedTreesModel, BoostingParams, train_boosted_tr
 from ..trees.serialize import dumps_model, loads_model
 from ..treecomp.compiler import CompiledTreeModel, compile_model, find_c_compiler
 from ..treecomp.interpreter import PythonScalarModel
-from .ablation import TargetMode, training_matrices, transform_absolute
+from .ablation import TargetMode, training_matrices
 from .dataset import (
     CardinalityKind,
     PipelineDataset,
@@ -219,6 +219,7 @@ class T3Model:
             "cardinalities": self.config.cardinalities.value,
             "target_mode": self.config.target_mode.value,
             "seed": self.config.seed,
+            "feature_names": self.registry.feature_names(),
         }
         Path(path).write_text(json.dumps(payload))
 
@@ -227,6 +228,15 @@ class T3Model:
              compile_to_native: bool = True) -> "T3Model":
         payload = json.loads(Path(path).read_text())
         booster = loads_model(json.dumps(payload["model"]))
+        saved_names = payload.get("feature_names")
+        if saved_names is not None:
+            live_names = default_registry().feature_names()
+            if saved_names != live_names:
+                raise SchemaError(
+                    "persisted model was trained against a different "
+                    f"feature layout ({len(saved_names)} names vs "
+                    f"{len(live_names)} in this build); retrain or load "
+                    "with a matching registry")
         config = T3Config(
             cardinalities=CardinalityKind(payload["cardinalities"]),
             target_mode=TargetMode(payload["target_mode"]),

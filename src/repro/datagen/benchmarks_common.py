@@ -10,7 +10,7 @@ original.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..errors import WorkloadError
 from ..rng import derive_rng

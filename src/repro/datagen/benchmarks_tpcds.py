@@ -19,14 +19,13 @@ from typing import List
 import numpy as np
 
 from ..rng import derive_rng
-from ..engine.expressions import Aggregate, AggregateFunction, Predicate
+from ..engine.expressions import Predicate
 from ..engine.logical import LogicalNode, LogicalUnion, LogicalWindow
 from .benchmarks_common import (
     BenchmarkQueryBuilder,
     NamedQuery,
     avg_of,
     count_rows,
-    max_of,
     sum_of,
 )
 from .instances import Instance, get_instance

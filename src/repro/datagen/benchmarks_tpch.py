@@ -21,7 +21,6 @@ from .benchmarks_common import (
     NamedQuery,
     avg_of,
     count_rows,
-    max_of,
     min_of,
     sum_of,
 )

@@ -28,7 +28,6 @@ from ..errors import SchemaError
 from ..rng import derive_rng
 from ..engine.catalog import Catalog
 from ..engine.distributions import (
-    CategoricalCodes,
     UniformInt,
     ZipfInt,
     uniform_categorical,

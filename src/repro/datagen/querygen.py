@@ -39,7 +39,6 @@ from ..engine.logical import (
     LogicalWindow,
 )
 from ..engine.schema import DatabaseSchema, JoinEdge
-from ..engine.types import DataType
 from .instances import Instance
 from .structures import QueryStructure
 

@@ -12,13 +12,13 @@ and discovers joinable column pairs by name/type/value-overlap analysis
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from ..errors import SchemaError
 from ..engine.catalog import Catalog
-from ..engine.distributions import CategoricalCodes, Distribution, UniformInt
+from ..engine.distributions import Distribution
 from ..engine.executor import TableStore
 from ..engine.schema import DatabaseSchema, JoinEdge
 

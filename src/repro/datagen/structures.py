@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..errors import WorkloadError
+
 
 @dataclass(frozen=True)
 class QueryStructure:
@@ -80,4 +82,4 @@ def structure_by_name(name: str) -> QueryStructure:
     for structure in QUERY_STRUCTURES:
         if structure.name == name:
             return structure
-    raise KeyError(f"unknown query structure {name!r}")
+    raise WorkloadError(f"unknown query structure {name!r}")

@@ -16,15 +16,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..rng import DEFAULT_SEED, derive_seed
-from ..engine.cardinality import ExactCardinalityModel
-from ..engine.logical import LogicalNode, count_joins
+from ..engine.logical import LogicalNode
 from ..engine.optimizer import Optimizer, OptimizerConfig
 from ..engine.physical import PhysicalPlan
-from ..engine.pipelines import Pipeline, decompose_into_pipelines
+from ..engine.pipelines import Pipeline
 from ..engine.simulator import ExecutionSimulator, SimulatedExecution, SimulatorConfig
 from .instances import Instance, get_instance
 from .querygen import RandomQueryGenerator
-from .structures import QUERY_STRUCTURES, QueryStructure
+from .structures import QUERY_STRUCTURES
 
 #: Group label used for fixed (published) benchmark queries in Figure 8.
 FIXED_GROUP = "Fixed"

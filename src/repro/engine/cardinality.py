@@ -10,9 +10,8 @@ one interface so plans can be featurized under any of them.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict
 
-import numpy as np
 
 from ..errors import CardinalityError
 from ..rng import derive_rng
@@ -24,7 +23,6 @@ from .physical import (
     PDistinct,
     PFilter,
     PGroupBy,
-    PHashJoin,
     PIndexNLJoin,
     PLimit,
     PMap,

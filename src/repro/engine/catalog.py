@@ -11,7 +11,7 @@ factor, mimicking sampling-based ANALYZE.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 import numpy as np
 

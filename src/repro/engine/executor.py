@@ -39,7 +39,6 @@ from .physical import (
     PSort,
     PTableScan,
     PTopK,
-    PUnion,
     PWindow,
     _JoinBase,
 )

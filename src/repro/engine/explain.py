@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from .cardinality import CardinalityModel, ExactCardinalityModel
+from .cardinality import CardinalityModel
 from .physical import (
     PFilter,
     PGroupBy,

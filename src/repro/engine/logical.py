@@ -10,7 +10,7 @@ to cover the benchmark workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import PlanError
 from .expressions import Aggregate, ComputedColumn, Predicate

@@ -21,18 +21,12 @@ in :mod:`repro.joinorder`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..errors import PlanError
 from .cardinality import EstimatedCardinalityModel
 from .catalog import Catalog
-from .expressions import (
-    Aggregate,
-    BetweenPredicate,
-    ComputedColumn,
-    InListPredicate,
-    Predicate,
-)
+from .expressions import BetweenPredicate, InListPredicate, Predicate
 from .logical import (
     LogicalDistinct,
     LogicalGroupBy,

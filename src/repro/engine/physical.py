@@ -13,9 +13,8 @@ can be featurized with exact, estimated, or distorted cardinalities.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import PlanError
 from .expressions import Aggregate, ComputedColumn, Predicate

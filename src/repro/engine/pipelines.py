@@ -15,7 +15,7 @@ simulator are built from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List
 
 from ..errors import PlanError
 from .cardinality import CardinalityModel
@@ -27,7 +27,6 @@ from .physical import (
     PSimpleAgg,
     PTableScan,
     PTopK,
-    PUnion,
     _JoinBase,
 )
 from .stages import (

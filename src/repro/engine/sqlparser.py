@@ -29,9 +29,9 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ExpressionError, PlanError, SchemaError
+from ..errors import PlanError, SchemaError
 from ..rng import derive_rng
 from .catalog import Catalog
 from .expressions import (

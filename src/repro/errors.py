@@ -43,6 +43,15 @@ class WorkloadError(ReproError):
     """Raised by query generation when constraints cannot be satisfied."""
 
 
+class ConfigurationError(ReproError):
+    """Raised when a component receives an invalid parameter value."""
+
+
+class CheckError(ReproError):
+    """Raised when a static-analysis check cannot run (as opposed to a
+    check that runs and reports findings)."""
+
+
 class ServingError(ReproError):
     """Base class for errors raised by the online prediction service."""
 

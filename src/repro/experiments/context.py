@@ -7,15 +7,14 @@ plus the fixed benchmark), exact cardinalities unless stated otherwise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..rng import DEFAULT_SEED
 from ..trees.boosting import BoostingParams
-from ..datagen.instances import all_instance_names, get_instance
+from ..datagen.instances import all_instance_names
 from ..datagen.workload import (
     BenchmarkedQuery,
-    WorkloadBuilder,
     WorkloadConfig,
     build_corpus_workload,
 )

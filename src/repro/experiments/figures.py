@@ -14,7 +14,7 @@ with their tool of choice:
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
 

@@ -14,7 +14,7 @@ Two models, as in Table 5 of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

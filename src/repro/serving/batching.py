@@ -29,7 +29,12 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..errors import QueueFullError, RequestTimeoutError, ServingError
+from ..errors import (
+    ConfigurationError,
+    QueueFullError,
+    RequestTimeoutError,
+    ServingError,
+)
 from .telemetry import MetricsRegistry
 
 __all__ = ["BatcherStats", "MicroBatcher"]
@@ -77,9 +82,9 @@ class MicroBatcher:
                  metrics: Optional[MetricsRegistry] = None,
                  name: str = "default"):
         if max_batch_rows < 1:
-            raise ValueError("max_batch_rows must be >= 1")
+            raise ConfigurationError("max_batch_rows must be >= 1")
         if queue_capacity < 1:
-            raise ValueError("queue_capacity must be >= 1")
+            raise ConfigurationError("queue_capacity must be >= 1")
         self._predict_batch = predict_batch
         self.max_batch_rows = int(max_batch_rows)
         self.max_wait_s = float(max_wait_s)
@@ -88,9 +93,10 @@ class MicroBatcher:
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_capacity)
         self._stats = BatcherStats()
         self._stats_lock = threading.Lock()
+        self._lifecycle_lock = threading.Lock()   # guards _worker
         self._worker: Optional[threading.Thread] = None
         self._started = threading.Event()
-        self._closed = False
+        self._closed = threading.Event()
         if metrics is not None:
             self._m_batch_rows = metrics.histogram(
                 "t3_serving_batch_rows",
@@ -119,30 +125,33 @@ class MicroBatcher:
     # -- lifecycle --------------------------------------------------------
 
     def start(self) -> "MicroBatcher":
-        if self._started.is_set():
-            return self
-        self._worker = threading.Thread(
-            target=self._run, name=f"t3-batcher-{self.name}", daemon=True)
-        self._started.set()
-        self._worker.start()
+        with self._lifecycle_lock:
+            if self._started.is_set():
+                return self
+            self._worker = threading.Thread(
+                target=self._run, name=f"t3-batcher-{self.name}", daemon=True)
+            self._started.set()
+            self._worker.start()
         return self
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop the worker; queued requests still get answered."""
-        if self._closed:
+        if self._closed.is_set():
             return
-        self._closed = True
+        self._closed.set()
+        with self._lifecycle_lock:
+            worker = self._worker
         if self._started.is_set():
             self._queue.put(_SHUTDOWN)
-            assert self._worker is not None
-            self._worker.join(timeout)
+            if worker is not None:
+                worker.join(timeout)
 
     # -- submission -------------------------------------------------------
 
     def submit_async(self, vectors: np.ndarray,
                      timeout: Optional[float] = None) -> "Future[np.ndarray]":
         """Enqueue a feature matrix; the future resolves to raw scores."""
-        if self._closed:
+        if self._closed.is_set():
             raise ServingError("batcher is closed")
         if not self._started.is_set():
             self.start()

@@ -17,6 +17,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
 
+from ..errors import ConfigurationError
+
 __all__ = ["CacheStats", "LRUCache", "normalize_sql"]
 
 _MISSING = object()
@@ -89,7 +91,8 @@ class LRUCache:
                  on_miss: Optional[Callable[[], None]] = None,
                  on_evict: Optional[Callable[[], None]] = None):
         if capacity < 1:
-            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()

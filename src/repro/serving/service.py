@@ -106,8 +106,9 @@ class PredictionService:
         self._batchers_lock = threading.Lock()
         self._optimizers: Dict[str, Tuple[Optimizer, ExactCardinalityModel]]
         self._optimizers = {}
+        self._optimizers_lock = threading.Lock()
         self._started_at = time.time()
-        self._closed = False
+        self._closed = threading.Event()
 
         m = self.metrics
         self._m_requests = m.counter(
@@ -147,7 +148,7 @@ class PredictionService:
                 version: Optional[int] = None,
                 timeout: Optional[float] = None) -> PredictionResult:
         """Predict the execution time of ``sql`` against ``instance``."""
-        if self._closed:
+        if self._closed.is_set():
             raise ServingError("service is closed")
         started = time.perf_counter()
         try:
@@ -197,7 +198,7 @@ class PredictionService:
         **single** native batch call, so the per-request Python
         overhead is paid once per batch instead of once per query.
         """
-        if self._closed:
+        if self._closed.is_set():
             raise ServingError("service is closed")
         if not requests:
             return []
@@ -271,12 +272,15 @@ class PredictionService:
         return vectors, cards, parse_s, featurize_s, False
 
     def _optimizer_for(self, instance: str):
-        cached = self._optimizers.get(instance)
+        with self._optimizers_lock:
+            cached = self._optimizers.get(instance)
         if cached is None:
             inst = self._resolve_instance(instance)
             cached = (Optimizer(inst.schema, inst.catalog),
                       ExactCardinalityModel(inst.catalog))
-            self._optimizers[instance] = cached
+            with self._optimizers_lock:
+                # First builder wins so every thread shares one optimizer.
+                cached = self._optimizers.setdefault(instance, cached)
         return cached
 
     def _batcher_for(self, entry: ModelEntry) -> MicroBatcher:
@@ -322,9 +326,9 @@ class PredictionService:
 
     def close(self) -> None:
         """Stop batch workers and release compiled model libraries."""
-        if self._closed:
+        if self._closed.is_set():
             return
-        self._closed = True
+        self._closed.set()
         with self._batchers_lock:
             batchers = list(self._batchers.values())
         for batcher in batchers:

@@ -16,6 +16,8 @@ import math
 import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..errors import ConfigurationError
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "DEFAULT_LATENCY_BUCKETS"]
 
@@ -36,7 +38,7 @@ class Counter:
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
-            raise ValueError("counters can only increase")
+            raise ConfigurationError("counters can only increase")
         with self._lock:
             self._value += amount
 
@@ -70,14 +72,16 @@ class Gauge:
             self._value = float(value)
 
     def set_function(self, function: Callable[[], float]) -> None:
-        self._function = function
+        with self._lock:
+            self._function = function
 
     @property
     def value(self) -> float:
-        if self._function is not None:
-            return float(self._function())
         with self._lock:
-            return self._value
+            function = self._function
+            if function is None:
+                return self._value
+        return float(function())
 
     def render(self) -> List[str]:
         lines = []
@@ -97,7 +101,7 @@ class Histogram:
         self.help_text = help_text
         self.bounds = tuple(sorted(float(b) for b in buckets))
         if not self.bounds:
-            raise ValueError("histogram needs at least one bucket")
+            raise ConfigurationError("histogram needs at least one bucket")
         self._counts = [0] * (len(self.bounds) + 1)  # last = +Inf
         self._sum = 0.0
         self._count = 0
@@ -133,7 +137,7 @@ class Histogram:
         """Bucket-resolution quantile estimate (upper bound of the
         bucket holding the q-th observation)."""
         if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
+            raise ConfigurationError(f"quantile {q} outside [0, 1]")
         with self._lock:
             total = self._count
             if total == 0:
@@ -179,7 +183,7 @@ class MetricsRegistry:
                 instrument = factory()
                 self._instruments[name] = instrument
             elif not isinstance(instrument, kind):
-                raise ValueError(
+                raise ConfigurationError(
                     f"metric {name!r} already registered as "
                     f"{type(instrument).__name__}")
             return instrument

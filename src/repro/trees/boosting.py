@@ -10,7 +10,7 @@ per-round validation loss tracking, and optional early stopping.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -19,7 +19,7 @@ from ..errors import TrainingError
 from ..rng import DEFAULT_SEED, derive_rng
 from .grow import GrowthParams, TreeGrower
 from .histogram import BinMapper
-from .objectives import Objective, get_objective
+from .objectives import get_objective
 from .tree import Tree
 
 

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..errors import TrainingError
 from .histogram import BinMapper
-from .tree import LEAF, Tree, TreeNode
+from .tree import Tree, TreeNode
 
 
 @dataclass(frozen=True)

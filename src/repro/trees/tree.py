@@ -9,7 +9,7 @@ prediction value (shrinkage already applied by the booster).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

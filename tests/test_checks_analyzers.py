@@ -1,0 +1,265 @@
+"""Feature-schema, lock-discipline, lint, baseline, and driver tests.
+
+Seeded-violation sources prove each analyzer actually fires; the
+repo-level runs prove the codebase itself is clean.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.checks import (
+    Baseline,
+    Finding,
+    Severity,
+    Suppression,
+    check_feature_schema,
+    check_lint,
+    check_lock_discipline,
+    run_checks,
+)
+from repro.checks.findings import write_baseline
+from repro.checks.lint import allowed_exception_names, lint_source
+from repro.errors import CheckError
+
+# ---------------------------------------------------------------------------
+# lock discipline
+# ---------------------------------------------------------------------------
+
+_LOCK_VIOLATIONS = '''
+import threading
+
+class Sloppy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._total = 0
+
+    def hit(self):
+        with self._lock:
+            self._hits += 1
+
+    def hit_unsafely(self):
+        self._hits += 1          # LK001: guarded in hit(), not here
+
+    def add(self, n):
+        self._total = self._total + n   # LK002: never guarded
+'''
+
+_LOCK_CLEAN = '''
+import threading
+
+class Tidy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._done = threading.Event()
+
+    def hit(self):
+        with self._lock:
+            self._hits += 1
+
+    def snapshot(self):
+        with self._lock:
+            return self._hits
+
+    def finish(self):
+        self._done.set()         # call receiver, not a write
+'''
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+def test_lockcheck_flags_seeded_violations(tmp_path):
+    path = _write(tmp_path, "sloppy.py", _LOCK_VIOLATIONS)
+    findings = check_lock_discipline(paths=[path])
+    rules = {f.rule for f in findings}
+    assert rules == {"LK001", "LK002"}
+    assert any("_hits" in f.message for f in findings)
+    assert any("_total" in f.message for f in findings)
+    assert all(f.line > 0 for f in findings)
+
+
+def test_lockcheck_accepts_disciplined_class(tmp_path):
+    path = _write(tmp_path, "tidy.py", _LOCK_CLEAN)
+    assert check_lock_discipline(paths=[path]) == []
+
+
+def test_lockcheck_missing_path_is_typed_error():
+    with pytest.raises(CheckError):
+        check_lock_discipline(paths=["/nonexistent/nowhere.py"])
+
+
+def test_serving_layer_is_lock_clean():
+    assert check_lock_discipline() == []
+
+
+# ---------------------------------------------------------------------------
+# lint
+# ---------------------------------------------------------------------------
+
+_LINT_VIOLATIONS = '''
+import numpy as np
+
+def awful(items=[]):
+    print(items)
+    try:
+        raise ValueError("untyped")
+    except:
+        pass
+    rng = np.random.default_rng()
+    return np.random.rand(3), rng
+'''
+
+
+def test_lint_flags_every_seeded_rule():
+    findings = lint_source(_LINT_VIOLATIONS, "somewhere.py",
+                           allowed_exception_names())
+    rules = {f.rule for f in findings}
+    assert rules == {"PL001", "PL002", "PL003", "PL004", "PL005"}
+    assert sum(1 for f in findings if f.rule == "PL005") == 2
+
+
+def test_lint_allows_local_reproerror_subclasses():
+    source = (
+        "from ..errors import PlanError\n"
+        "class LocalError(PlanError):\n"
+        "    pass\n"
+        "class DeeperError(LocalError):\n"
+        "    pass\n"
+        "def f():\n"
+        "    raise DeeperError('typed enough')\n")
+    findings = lint_source(source, "somewhere.py", allowed_exception_names())
+    assert findings == []
+
+
+def test_lint_exempts_process_edges():
+    source = "def f():\n    raise SystemExit(2)\n"
+    assert lint_source(source, "cli.py", allowed_exception_names()) == []
+    flagged = lint_source(source, "core/model.py", allowed_exception_names())
+    assert {f.rule for f in flagged} == {"PL001"}
+
+
+def test_repo_passes_its_own_lint():
+    assert check_lint() == []
+
+
+# ---------------------------------------------------------------------------
+# feature schema
+# ---------------------------------------------------------------------------
+
+def test_repo_feature_schema_is_clean():
+    assert check_feature_schema() == []
+
+
+def test_model_file_drift_detected(tmp_path):
+    stale = tmp_path / "stale_model.json"
+    stale.write_text(json.dumps({
+        "model": {"n_features": 3},
+        "feature_names": ["bogus_a", "bogus_b"],
+    }))
+    findings = check_feature_schema(model_path=str(stale))
+    rules = {f.rule for f in findings}
+    assert "FS004" in rules  # wrong n_features
+    assert "FS003" in rules  # diverging names
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+def _finding(rule="LK002", path="src/repro/serving/x.py", line=10):
+    return Finding(rule, Severity.ERROR, path, line, "message")
+
+
+def test_baseline_splits_suppressed_findings():
+    baseline = Baseline([Suppression(rule="LK002",
+                                     path="src/repro/serving/x.py")])
+    new, suppressed = baseline.split([_finding(), _finding(rule="PL001")])
+    assert [f.rule for f in new] == ["PL001"]
+    assert [f.rule for f in suppressed] == ["LK002"]
+
+
+def test_baseline_wildcard_and_line_matching():
+    anywhere = Baseline([Suppression(rule="*", path=None, line=None)])
+    assert anywhere.is_suppressed(_finding())
+    pinned = Baseline([Suppression(rule="LK002", line=11)])
+    assert not pinned.is_suppressed(_finding(line=10))
+    assert pinned.is_suppressed(_finding(line=11))
+
+
+def test_baseline_toml_round_trip(tmp_path):
+    path = tmp_path / "baseline.toml"
+    write_baseline([_finding(), _finding(rule="PL004", line=3)], path)
+    loaded = Baseline.load(path)
+    assert loaded.is_suppressed(_finding())
+    assert loaded.is_suppressed(_finding(rule="PL004", line=3))
+    assert not loaded.is_suppressed(_finding(rule="CG005"))
+
+
+def test_baseline_load_missing_file_is_typed_error(tmp_path):
+    with pytest.raises(CheckError):
+        Baseline.load(tmp_path / "absent.toml")
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def test_run_checks_repo_is_clean():
+    report = run_checks()
+    assert report.findings == []
+    assert report.exit_code == 0
+    assert set(report.analyzers_run) == {"codegen", "feature-schema",
+                                         "lockcheck", "lint"}
+
+
+def test_run_checks_rule_filter_limits_analyzers():
+    report = run_checks(rules=["LK"])
+    assert report.analyzers_run == ["lockcheck"]
+    report = run_checks(rules=["CG005", "PL001"])
+    assert set(report.analyzers_run) == {"codegen", "lint"}
+
+
+def test_run_checks_unknown_rule_is_typed_error():
+    with pytest.raises(CheckError):
+        run_checks(rules=["ZZ999"])
+
+
+def test_run_checks_nonzero_exit_on_seeded_drift(tmp_path):
+    stale = tmp_path / "stale_model.json"
+    stale.write_text(json.dumps({"model": {"n_features": 3}}))
+    report = run_checks(rules=["FS"], model_path=str(stale))
+    assert report.exit_code == 1
+    assert {f.rule for f in report.findings} == {"FS004"}
+
+
+def test_run_checks_baseline_restores_zero_exit(tmp_path):
+    stale = tmp_path / "stale_model.json"
+    stale.write_text(json.dumps({"model": {"n_features": 3}}))
+    baseline = Baseline([Suppression(rule="FS004")])
+    report = run_checks(rules=["FS"], model_path=str(stale),
+                        baseline=baseline)
+    assert report.exit_code == 0
+    assert [f.rule for f in report.suppressed] == ["FS004"]
+
+
+def test_report_json_rendering(tmp_path):
+    stale = tmp_path / "stale_model.json"
+    stale.write_text(json.dumps({"model": {"n_features": 3}}))
+    report = run_checks(rules=["FS"], model_path=str(stale))
+    payload = json.loads(report.render("json"))
+    assert payload["counts"]["errors"] == 1
+    assert payload["findings"][0]["rule"] == "FS004"
+    assert payload["analyzers"] == ["feature-schema"]
+
+
+def test_report_rejects_unknown_format():
+    with pytest.raises(CheckError):
+        run_checks(rules=["LK"]).render("yaml")

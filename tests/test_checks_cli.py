@@ -1,0 +1,68 @@
+"""`repro-t3 check` command: exit codes, formats, baseline handling."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def _stale_model(tmp_path):
+    path = tmp_path / "stale_model.json"
+    path.write_text(json.dumps({"model": {"n_features": 3}}))
+    return str(path)
+
+
+def test_check_repo_exits_zero(capsys):
+    assert main(["check"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_check_json_format(capsys):
+    assert main(["check", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert set(payload["analyzers"]) == {"codegen", "feature-schema",
+                                         "lockcheck", "lint"}
+
+
+def test_check_rule_filter(capsys):
+    assert main(["check", "--rule", "LK", "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out)["analyzers"] == ["lockcheck"]
+
+
+def test_check_unknown_rule_fails(capsys):
+    assert main(["check", "--rule", "ZZ999"]) == 1
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_check_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("CG001", "FS001", "LK001", "PL001"):
+        assert rule in out
+
+
+def test_check_seeded_drift_exits_nonzero(tmp_path, capsys):
+    stale = _stale_model(tmp_path)
+    assert main(["check", "--rule", "FS", "--model", stale]) == 1
+    assert "FS004" in capsys.readouterr().out
+
+
+def test_check_write_baseline_then_suppress(tmp_path, capsys):
+    stale = _stale_model(tmp_path)
+    baseline = str(tmp_path / "baseline.toml")
+    assert main(["check", "--rule", "FS", "--model", stale,
+                 "--write-baseline", baseline]) == 0
+    assert "1 suppression(s)" in capsys.readouterr().out
+    assert main(["check", "--rule", "FS", "--model", stale,
+                 "--baseline", baseline]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed by baseline" in out
+    assert main(["check", "--rule", "FS", "--model", stale,
+                 "--no-baseline", "--baseline", baseline]) == 1
+
+
+def test_check_missing_baseline_fails(capsys):
+    assert main(["check", "--baseline", "/nonexistent/baseline.toml"]) == 1
+    assert "baseline file not found" in capsys.readouterr().err

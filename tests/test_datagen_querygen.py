@@ -15,6 +15,7 @@ from repro.engine.logical import (
 from repro.datagen.instances import get_instance
 from repro.datagen.querygen import RandomQueryGenerator
 from repro.datagen.structures import QUERY_STRUCTURES, structure_by_name
+from repro.errors import WorkloadError
 
 
 @pytest.fixture(scope="module")
@@ -32,7 +33,7 @@ class TestStructures:
 
     def test_lookup(self):
         assert structure_by_name("SeJSiA").aggregation == "simple"
-        with pytest.raises(KeyError):
+        with pytest.raises(WorkloadError):
             structure_by_name("nope")
 
 

@@ -7,6 +7,7 @@ import numpy as np
 import pytest
 
 from repro.errors import (
+    ConfigurationError,
     ModelNotFoundError,
     QueueFullError,
     RequestTimeoutError,
@@ -142,7 +143,7 @@ class TestLRUCache:
         assert len(evicted) == 1
 
     def test_rejects_zero_capacity(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             LRUCache(0)
 
 
@@ -157,7 +158,7 @@ class TestTelemetry:
         counter.inc()
         counter.inc(2.5)
         assert counter.value == 3.5
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             counter.inc(-1)
 
     def test_gauge_function(self):
@@ -189,7 +190,7 @@ class TestTelemetry:
     def test_registry_rejects_kind_conflict(self):
         metrics = MetricsRegistry()
         metrics.counter("name")
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             metrics.gauge("name")
 
 
@@ -465,7 +466,7 @@ class TestPredictionService:
         registry.register(toy_model, "m")
         service = PredictionService(registry, instance_resolver=resolver)
         # close only the batchers, keep the shared model library alive
-        service._closed = True
+        service._closed.set()
         with pytest.raises(ServingError):
             service.predict(SQL, "toy")
 
