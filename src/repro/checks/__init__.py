@@ -1,43 +1,73 @@
 """Static-analysis subsystem: prove T3's invariants without running them.
 
-Four analyzers behind one driver (``repro-t3 check``):
+Six analyzers behind one driver (``repro-t3 check``):
 
 * :mod:`~repro.checks.codegen_verify` — parse generated C back into a
   tree structure and verify structural equivalence with the trained
   model (rules ``CG...``),
 * :mod:`~repro.checks.feature_schema` — detect drift between feature
   declarations, emit sites, and persisted models (``FS...``),
-* :mod:`~repro.checks.lockcheck` — lexical lock-discipline analysis of
-  the multithreaded serving code (``LK...``),
+* :mod:`~repro.checks.plan_invariants` — prove the pipeline
+  decomposition total and well-shaped, percentage features normalised,
+  cardinalities clamped, and the target transform finite (``PI...``),
+* :mod:`~repro.checks.ensemble_analyze` — interval analysis over
+  trained ensembles: dead branches, unreachable leaves, non-finite
+  decodes, float32 near-ties (``EA...``),
+* :mod:`~repro.checks.concurrency` — CFG-based lock-discipline
+  dataflow over the multithreaded serving code (``LK...``),
 * :mod:`~repro.checks.lint` — project-wide conventions: typed errors,
   no bare except, no mutable defaults, no print, seeded randomness
   (``PL...``).
 
-Findings carry ``file:line``, a stable rule id, and a severity; a
-TOML baseline (``checks_baseline.toml``) grandfathers known findings so
-the driver can gate CI on *new* ones only.
+Shared infrastructure lives in :mod:`~repro.checks.astutils` (AST
+loading and navigation helpers) and :mod:`~repro.checks.cfg`
+(per-function control-flow graphs plus a generic forward-dataflow
+solver). Findings carry ``file:line``, a stable rule id, and a
+severity; a TOML baseline (``checks_baseline.toml``) grandfathers known
+findings so the driver can gate CI on *new* ones only, and
+``--format sarif`` renders the same findings for code-scanning upload.
 """
 
+from .cfg import CFG, Block, build_cfg, forward_dataflow
 from .codegen_verify import parse_c_source, self_check_model, verify_codegen
+from .concurrency import check_lock_discipline
 from .driver import ANALYZERS, RULES, CheckReport, run_checks
+from .ensemble_analyze import analyze_ensemble
 from .feature_schema import check_feature_schema
-from .findings import Baseline, Finding, Severity, Suppression
+from .findings import (
+    Baseline,
+    Finding,
+    Severity,
+    Suppression,
+    update_baseline,
+    write_baseline,
+)
 from .lint import check_lint
-from .lockcheck import check_lock_discipline
+from .plan_invariants import check_plan_invariants
+from .sarif import render_sarif
 
 __all__ = [
     "ANALYZERS",
     "Baseline",
+    "Block",
+    "CFG",
     "CheckReport",
     "Finding",
     "RULES",
     "Severity",
     "Suppression",
+    "analyze_ensemble",
+    "build_cfg",
     "check_feature_schema",
     "check_lint",
     "check_lock_discipline",
+    "check_plan_invariants",
+    "forward_dataflow",
     "parse_c_source",
+    "render_sarif",
     "run_checks",
     "self_check_model",
+    "update_baseline",
     "verify_codegen",
+    "write_baseline",
 ]

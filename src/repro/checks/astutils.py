@@ -1,0 +1,157 @@
+"""Shared AST helpers for the static-analysis subsystem.
+
+Every analyzer in :mod:`repro.checks` reads Python source into
+:mod:`ast` trees and asks the same small questions — "is this
+``self.x``?", "what dotted name is being called?", "where is the
+module-level assignment to ``NAME``?". This module owns those answers
+so the analyzers stay about *their* rules, not about AST plumbing.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CheckError
+
+__all__ = [
+    "PACKAGE_ROOT",
+    "constant_str",
+    "dotted_name",
+    "enum_member",
+    "find_class_function",
+    "find_function",
+    "innermost_self_attr",
+    "iter_py_files",
+    "load_module_ast",
+    "module_assignment",
+    "repo_relative",
+    "self_attr",
+]
+
+#: Root of the installed ``repro`` package (``src/repro``).
+PACKAGE_ROOT = Path(__file__).resolve().parents[1]
+
+
+def load_module_ast(path: Union[str, Path]) -> ast.Module:
+    """Parse one source file, raising :class:`CheckError` on failure."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckError(f"source file not found: {path}")
+    try:
+        return ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        raise CheckError(f"cannot parse {path}: {exc}") from exc
+
+
+def repo_relative(path: Union[str, Path]) -> str:
+    """Repo-relative, '/'-separated rendering of a source path.
+
+    Paths inside the ``repro`` package render as ``src/repro/...`` so
+    findings line up with the repository layout; anything else keeps
+    its last two components.
+    """
+    parts = Path(path).resolve().parts
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(("src",) + parts[index:])
+    return "/".join(parts[-2:])
+
+
+def self_attr(node: ast.AST) -> Optional[str]:
+    """``self.x`` -> ``"x"``; anything else -> ``None``."""
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def innermost_self_attr(node: ast.AST) -> Optional[ast.Attribute]:
+    """The ``self.x`` at the base of ``self.x.y[z]...``, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if self_attr(node) is not None:
+            return node  # type: ignore[return-value]
+        node = node.value
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_assignment(tree: ast.Module, name: str) -> Optional[ast.expr]:
+    """Value expression of the module-level assignment to ``name``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets: Sequence[ast.expr] = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        if any(isinstance(t, ast.Name) and t.id == name for t in targets):
+            return node.value
+    return None
+
+
+def find_class_function(tree: ast.Module, cls: str,
+                        name: str) -> ast.FunctionDef:
+    """Locate method ``name`` of class ``cls``; raises if absent."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == cls:
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == name:
+                    return item
+    raise CheckError(f"{cls}.{name} not found")
+
+
+def find_function(tree: ast.AST, name: str) -> ast.FunctionDef:
+    """Locate the (possibly nested) function definition ``name``."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                return node  # type: ignore[return-value]
+    raise CheckError(f"function {name} not found")
+
+
+def iter_py_files(roots: Iterable[Union[str, Path]]) -> List[Path]:
+    """All ``.py`` files under the given roots, sorted and deduplicated."""
+    files: List[Path] = []
+    for root in roots:
+        root = Path(root)
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        elif root.exists():
+            files.append(root)
+        else:
+            raise CheckError(f"analysis path not found: {root}")
+    seen = set()
+    unique: List[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def constant_str(node: ast.AST) -> Optional[str]:
+    """The value of a string-literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def enum_member(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """``EnumName.MEMBER`` attribute -> ``("EnumName", "MEMBER")``."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return node.value.id, node.attr
+    return None

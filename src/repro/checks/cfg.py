@@ -1,0 +1,483 @@
+"""Per-function control-flow graphs over Python ``ast``, plus dataflow.
+
+The concurrency analyzer needs to know *which locks are held at which
+program point*, and a lexical ``with``-depth counter cannot answer that
+for early returns, ``try/finally`` release patterns, loops, or manual
+``acquire()``/``release()`` pairs. This module builds a small but
+honest CFG for one function:
+
+* **Blocks** hold an ordered list of *events* — plain AST statements
+  and expressions in evaluation order, plus :class:`WithEnter` /
+  :class:`WithExit` markers for every ``with`` item so analyses see
+  context-manager acquisition and release as explicit program points.
+* **Edges** cover branches, loop back-edges, ``break``/``continue``,
+  ``return``, ``raise``, and exception flow into ``except`` handlers
+  and through ``finally`` blocks. Abrupt exits unwind enclosing
+  ``with`` items (a fresh :class:`WithExit` block per jump, so an early
+  ``return`` inside ``with self._lock:`` still releases before the
+  exit block) and route through ``finally`` bodies.
+
+Approximations, chosen deliberately: ``finally`` subgraphs are built
+once and shared by every path that reaches them (normal fall-through,
+``return``, exception), which merges those paths at the finally exit;
+an exception raised inside a ``try`` with handlers is assumed to be
+caught by one of them. Both err toward *more* merging, which for the
+must-hold lock analysis means locks are dropped, never invented.
+
+:func:`forward_dataflow` runs a classic worklist fixpoint over a CFG;
+analyses supply the transfer function and the meet operator.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import CheckError
+
+__all__ = ["Block", "CFG", "WithEnter", "WithExit", "build_cfg",
+           "forward_dataflow"]
+
+
+@dataclass(frozen=True)
+class WithEnter:
+    """Entering one ``with`` item (context expression evaluated here)."""
+
+    item: ast.withitem
+    line: int
+    is_async: bool = False
+
+
+@dataclass(frozen=True)
+class WithExit:
+    """Leaving one ``with`` item (``__exit__`` runs here)."""
+
+    item: ast.withitem
+    line: int
+    is_async: bool = False
+
+
+@dataclass
+class Block:
+    """One straight-line run of events."""
+
+    index: int
+    label: str
+    events: List[object] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+    def add_successor(self, index: int) -> None:
+        if index not in self.successors:
+            self.successors.append(index)
+
+    def lines(self) -> List[int]:
+        """Source lines of the block's events (golden-test anchor)."""
+        out = []
+        for event in self.events:
+            line = getattr(event, "line", None)
+            if line is None:
+                line = getattr(event, "lineno", None)
+            if line is not None:
+                out.append(line)
+        return out
+
+
+class CFG:
+    """Control-flow graph of one function. Block 0 = entry, 1 = exit."""
+
+    ENTRY = 0
+    EXIT = 1
+
+    def __init__(self, name: str, blocks: List[Block]):
+        self.name = name
+        self.blocks = blocks
+
+    def predecessors(self, index: int) -> List[int]:
+        return [b.index for b in self.blocks if index in b.successors]
+
+    def block_of_line(self, line: int) -> Optional[Block]:
+        """The first block containing an event on ``line``."""
+        for block in self.blocks:
+            if line in block.lines():
+                return block
+        return None
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return [(b.index, s) for b in self.blocks for s in b.successors]
+
+    def describe(self) -> str:
+        """Stable text rendering, one block per line (for golden tests)."""
+        out = []
+        for block in self.blocks:
+            succ = ",".join(f"B{s}" for s in block.successors)
+            lines = ",".join(str(line) for line in block.lines())
+            out.append(f"B{block.index}({block.label})"
+                       f" lines[{lines}] -> [{succ}]")
+        return "\n".join(out)
+
+
+# -- frames for abrupt-exit routing -----------------------------------------
+
+@dataclass
+class _WithFrame:
+    item: ast.withitem
+    line: int
+    is_async: bool
+
+
+@dataclass
+class _TryFrame:
+    handler_entries: List[int]
+
+
+@dataclass
+class _FinallyFrame:
+    entry: int
+    exit: int
+
+
+@dataclass
+class _Loop:
+    head: int            # target of ``continue``
+    after: int           # target of ``break``
+    depth: int           # unwind-stack depth at loop entry
+
+
+class _Builder:
+    def __init__(self, func: ast.AST):
+        name = getattr(func, "name", "<lambda>")
+        self.blocks: List[Block] = []
+        self._new_block("entry")
+        self._new_block("exit")
+        self.unwind: List[object] = []
+        self.loops: List[_Loop] = []
+        self.func = func
+        self._exception_noted: set = set()
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _new_block(self, label: str) -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        return block
+
+    def _connect(self, src: Optional[Block], dst: Block) -> None:
+        if src is not None:
+            src.add_successor(dst.index)
+
+    def _append(self, current: Optional[Block], event: object) -> None:
+        if current is None:
+            return
+        current.events.append(event)
+        # Any event can raise: note exception flow into handlers/finally.
+        # One routing per (block, unwind-stack) state is enough — the
+        # edges are identical for every event sharing that state.
+        if any(isinstance(f, (_TryFrame, _FinallyFrame)) for f in self.unwind):
+            key = (current.index, tuple(id(f) for f in self.unwind))
+            if key not in self._exception_noted:
+                self._exception_noted.add(key)
+                self._route_exception(current)
+
+    # -- abrupt-exit routing ----------------------------------------------
+
+    def _unwind_chain(self, src: Block,
+                      frames: Sequence[object]) -> Block:
+        """Route ``src`` through cloned with-exits and shared finallys.
+
+        Returns the block the caller should connect to the jump target.
+        """
+        current = src
+        for frame in frames:
+            if isinstance(frame, _WithFrame):
+                clone = self._new_block("with-exit")
+                clone.events.append(WithExit(frame.item, frame.line,
+                                             frame.is_async))
+                self._connect(current, clone)
+                current = clone
+            elif isinstance(frame, _FinallyFrame):
+                self._connect(current, self.blocks[frame.entry])
+                current = self.blocks[frame.exit]
+            # _TryFrame: handlers do not run on non-exception exits.
+        return current
+
+    def _route_jump(self, current: Block, target: Block,
+                    outer_depth: int = 0) -> None:
+        """``return``/``break``/``continue``: unwind then jump."""
+        frames = list(reversed(self.unwind[outer_depth:]))
+        end = self._unwind_chain(current, frames)
+        self._connect(end, target)
+
+    def _route_exception(self, current: Block) -> None:
+        """Edge for a potential exception raised in ``current``."""
+        chain_start = current
+        frames = list(reversed(self.unwind))
+        for pos, frame in enumerate(frames):
+            if isinstance(frame, _WithFrame):
+                continue  # cloned below, once the catching frame is known
+            if isinstance(frame, _TryFrame):
+                end = self._unwind_chain(
+                    chain_start,
+                    [f for f in frames[:pos] if isinstance(f, _WithFrame)])
+                for handler in frame.handler_entries:
+                    self._connect(end, self.blocks[handler])
+                return  # assume the exception is caught here
+            if isinstance(frame, _FinallyFrame):
+                end = self._unwind_chain(
+                    chain_start,
+                    [f for f in frames[:pos] if isinstance(f, _WithFrame)])
+                self._connect(end, self.blocks[frame.entry])
+                chain_start = self.blocks[frame.exit]
+                frames = frames[pos + 1:]
+                return self._route_exception_tail(chain_start, frames)
+        self._connect(chain_start, self.blocks[CFG.EXIT])
+
+    def _route_exception_tail(self, current: Block,
+                              frames: List[object]) -> None:
+        for pos, frame in enumerate(frames):
+            if isinstance(frame, _TryFrame):
+                for handler in frame.handler_entries:
+                    self._connect(current, self.blocks[handler])
+                return
+            if isinstance(frame, _FinallyFrame):
+                self._connect(current, self.blocks[frame.entry])
+                return self._route_exception_tail(
+                    self.blocks[frame.exit], frames[pos + 1:])
+        self._connect(current, self.blocks[CFG.EXIT])
+
+    # -- statement dispatch -----------------------------------------------
+
+    def build(self) -> CFG:
+        entry = self.blocks[CFG.ENTRY]
+        end = self._body(self.func.body, entry)
+        self._connect(end, self.blocks[CFG.EXIT])
+        return CFG(getattr(self.func, "name", "<lambda>"), self.blocks)
+
+    def _body(self, statements: Sequence[ast.stmt],
+              current: Optional[Block]) -> Optional[Block]:
+        for statement in statements:
+            current = self._stmt(statement, current)
+        return current
+
+    def _stmt(self, node: ast.stmt,
+              current: Optional[Block]) -> Optional[Block]:
+        if current is None:
+            # Dead code after a terminator: park it in an unreachable
+            # block so its events still exist for lexical passes.
+            current = self._new_block("unreachable")
+        if isinstance(node, (ast.If,)):
+            return self._stmt_if(node, current)
+        if isinstance(node, (ast.While,)):
+            return self._stmt_while(node, current)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return self._stmt_for(node, current)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return self._stmt_with(node, current)
+        if isinstance(node, ast.Try):
+            return self._stmt_try(node, current)
+        if isinstance(node, ast.Return):
+            self._append(current, node)
+            self._route_jump(current, self.blocks[CFG.EXIT])
+            return None
+        if isinstance(node, ast.Raise):
+            self._append(current, node)
+            if any(isinstance(f, (_TryFrame, _FinallyFrame))
+                   for f in self.unwind):
+                self._route_exception(current)
+            else:
+                self._route_jump(current, self.blocks[CFG.EXIT])
+            return None
+        if isinstance(node, ast.Break):
+            if not self.loops:
+                raise CheckError(f"'break' outside a loop at line {node.lineno}")
+            loop = self.loops[-1]
+            self._route_jump(current, self.blocks[loop.after], loop.depth)
+            return None
+        if isinstance(node, ast.Continue):
+            if not self.loops:
+                raise CheckError(
+                    f"'continue' outside a loop at line {node.lineno}")
+            loop = self.loops[-1]
+            self._route_jump(current, self.blocks[loop.head], loop.depth)
+            return None
+        # Straight-line statement (including nested function/class
+        # definitions, which are events, not control flow).
+        self._append(current, node)
+        return current
+
+    def _stmt_if(self, node: ast.If, current: Block) -> Optional[Block]:
+        self._append(current, node.test)
+        then_entry = self._new_block("then")
+        self._connect(current, then_entry)
+        then_end = self._body(node.body, then_entry)
+        if node.orelse:
+            else_entry = self._new_block("else")
+            self._connect(current, else_entry)
+            else_end = self._body(node.orelse, else_entry)
+        else:
+            else_end = current
+        if then_end is None and else_end is None:
+            return None
+        after = self._new_block("after-if")
+        self._connect(then_end, after)
+        self._connect(else_end, after)
+        return after
+
+    def _loop(self, node, head_events: List[object],
+              current: Block) -> Block:
+        head = self._new_block("loop-head")
+        for event in head_events:
+            self._append(head, event)
+        self._connect(current, head)
+        after = self._new_block("after-loop")
+        self.loops.append(_Loop(head.index, after.index, len(self.unwind)))
+        body_entry = self._new_block("loop-body")
+        self._connect(head, body_entry)
+        body_end = self._body(node.body, body_entry)
+        self._connect(body_end, head)  # the back edge
+        self.loops.pop()
+        if node.orelse:
+            else_entry = self._new_block("loop-else")
+            self._connect(head, else_entry)
+            else_end = self._body(node.orelse, else_entry)
+            self._connect(else_end, after)
+        else:
+            self._connect(head, after)
+        return after
+
+    def _stmt_while(self, node: ast.While, current: Block) -> Block:
+        return self._loop(node, [node.test], current)
+
+    def _stmt_for(self, node, current: Block) -> Block:
+        self._append(current, node.iter)
+        return self._loop(node, [node.target], current)
+
+    def _stmt_with(self, node, current: Block) -> Optional[Block]:
+        is_async = isinstance(node, ast.AsyncWith)
+        for item in node.items:
+            self._append(current, WithEnter(item, node.lineno, is_async))
+            self.unwind.append(_WithFrame(item, node.lineno, is_async))
+        body_end = self._body(node.body, current)
+        for item in reversed(node.items):
+            frame = self.unwind.pop()
+            if body_end is not None:
+                exit_block = self._new_block("with-exit")
+                exit_block.events.append(
+                    WithExit(frame.item, frame.line, frame.is_async))
+                self._connect(body_end, exit_block)
+                body_end = exit_block
+        return body_end
+
+    def _stmt_try(self, node: ast.Try, current: Block) -> Optional[Block]:
+        finally_frame: Optional[_FinallyFrame] = None
+        if node.finalbody:
+            fentry = self._new_block("finally")
+            fend = self._body(node.finalbody, fentry)
+            fexit = (fend if fend is not None
+                     else self._new_block("finally-exit"))
+            finally_frame = _FinallyFrame(fentry.index, fexit.index)
+            self.unwind.append(finally_frame)
+
+        handler_entries = [self._new_block("except").index
+                           for _ in node.handlers]
+        try_frame: Optional[_TryFrame] = None
+        if node.handlers:
+            try_frame = _TryFrame(handler_entries)
+            self.unwind.append(try_frame)
+
+        body_end = self._body(node.body, self._enter(current, "try"))
+        if try_frame is not None:
+            self.unwind.remove(try_frame)
+        if node.orelse and body_end is not None:
+            body_end = self._body(node.orelse,
+                                  self._enter(body_end, "try-else"))
+
+        handler_ends: List[Optional[Block]] = []
+        for handler, entry_index in zip(node.handlers, handler_entries):
+            entry = self.blocks[entry_index]
+            if handler.type is not None:
+                self._append(entry, handler.type)
+            handler_ends.append(self._body(handler.body, entry))
+
+        if finally_frame is not None:
+            self.unwind.remove(finally_frame)
+            for end in [body_end] + handler_ends:
+                self._connect(end, self.blocks[finally_frame.entry])
+            if body_end is None and all(e is None for e in handler_ends):
+                # Only abrupt paths reach the finally; no normal exit.
+                return None
+            after = self._new_block("after-try")
+            self._connect(self.blocks[finally_frame.exit], after)
+            return after
+        live = [end for end in [body_end] + handler_ends if end is not None]
+        if not live:
+            return None
+        after = self._new_block("after-try")
+        for end in live:
+            self._connect(end, after)
+        return after
+
+    def _enter(self, current: Block, label: str) -> Block:
+        block = self._new_block(label)
+        self._connect(current, block)
+        return block
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+        raise CheckError(
+            f"build_cfg expects a function definition, got "
+            f"{type(func).__name__}")
+    if isinstance(func, ast.Lambda):
+        wrapper = ast.FunctionDef(
+            name="<lambda>", args=func.args,
+            body=[ast.Return(value=func.body, lineno=func.lineno,
+                             col_offset=0)],
+            decorator_list=[], lineno=func.lineno, col_offset=0)
+        return _Builder(wrapper).build()
+    return _Builder(func).build()
+
+
+State = FrozenSet[str]
+
+
+def forward_dataflow(cfg: CFG,
+                     transfer: Callable[[State, object], State],
+                     entry_state: State,
+                     meet: Callable[[State, State], State],
+                     ) -> Dict[int, State]:
+    """Worklist fixpoint: per-block *entry* states.
+
+    ``transfer`` folds one event into a state; ``meet`` merges states at
+    join points (intersection for must-analyses, union for may-).
+    Blocks unreachable from the entry keep ``entry_state`` — harmless
+    for both meet flavours because they contribute no edges.
+    """
+    states: Dict[int, Optional[State]] = {b.index: None for b in cfg.blocks}
+    states[CFG.ENTRY] = entry_state
+    worklist = [CFG.ENTRY]
+    iterations = 0
+    limit = 50 * max(1, len(cfg.blocks)) * max(1, len(cfg.blocks))
+    while worklist:
+        iterations += 1
+        if iterations > limit:
+            raise CheckError(
+                f"dataflow over {cfg.name} did not converge "
+                f"({iterations} iterations)")
+        index = worklist.pop(0)
+        state = states[index]
+        if state is None:
+            continue
+        for event in cfg.blocks[index].events:
+            state = transfer(state, event)
+        for successor in cfg.blocks[index].successors:
+            incoming = states[successor]
+            merged = state if incoming is None else meet(incoming, state)
+            if merged != incoming:
+                states[successor] = merged
+                if successor not in worklist:
+                    worklist.append(successor)
+    return {index: (state if state is not None else entry_state)
+            for index, state in states.items()}

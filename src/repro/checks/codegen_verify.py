@@ -504,9 +504,13 @@ def self_check_model(n_trees: int = 5, n_features: int = 7
     rng = derive_rng(DEFAULT_SEED, "checks", "codegen-self-check")
     trees = []
     for _ in range(n_trees):
-        feature = [int(rng.integers(0, n_features)),
-                   int(rng.integers(0, n_features)),
-                   LEAF, LEAF, LEAF]
+        # Node 1 must split on a different feature than node 0: nesting
+        # the same feature with a random tighter threshold can produce a
+        # provably dead branch (flagged by EA001).
+        root_feature = int(rng.integers(0, n_features))
+        child_feature = (root_feature + 1
+                         + int(rng.integers(0, n_features - 1))) % n_features
+        feature = [root_feature, child_feature, LEAF, LEAF, LEAF]
         threshold = [float(rng.normal()), float(rng.normal()) * 1e-7,
                      0.0, 0.0, 0.0]
         left = [1, 3, LEAF, LEAF, LEAF]

@@ -1,16 +1,17 @@
 """Unified driver for the static-analysis subsystem (`repro-t3 check`).
 
-Runs the four analyzers, applies the baseline, and renders findings.
-Each analyzer owns a rule-id prefix; ``<prefix>000`` is reserved for
-"the analyzer itself could not run", so a crashed check fails the build
-instead of passing silently.
+Runs the analyzers, applies the baseline, and renders findings. Each
+analyzer owns a rule-id prefix; ``<prefix>000`` is reserved for "the
+analyzer itself could not run", so a crashed check fails the build —
+with exit code 3, distinct from exit code 1 for ordinary findings, so
+CI can tell "the code has problems" from "the checker has problems".
 """
 
 from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -18,6 +19,8 @@ from ..errors import CheckError
 from ..trees.boosting import BoostedTreesModel
 from ..trees.serialize import loads_model
 from .codegen_verify import self_check_model, verify_codegen
+from .concurrency import check_lock_discipline
+from .ensemble_analyze import analyze_ensemble
 from .feature_schema import check_feature_schema
 from .findings import (
     Baseline,
@@ -27,12 +30,18 @@ from .findings import (
     render_text,
 )
 from .lint import check_lint
-from .lockcheck import check_lock_discipline
+from .plan_invariants import check_plan_invariants
+from .sarif import render_sarif
 
-__all__ = ["ANALYZERS", "RULES", "CheckReport", "run_checks",
-           "DEFAULT_BASELINE_NAME"]
+__all__ = ["ANALYZERS", "RULES", "CheckOptions", "CheckReport",
+           "run_checks", "DEFAULT_BASELINE_NAME", "EXIT_FINDINGS",
+           "EXIT_ANALYZER_CRASH"]
 
 DEFAULT_BASELINE_NAME = "checks_baseline.toml"
+
+#: Exit codes of the check driver: clean runs exit 0.
+EXIT_FINDINGS = 1
+EXIT_ANALYZER_CRASH = 3
 
 #: rule id -> one-line description (the check's contract).
 RULES: Dict[str, str] = {
@@ -47,6 +56,17 @@ RULES: Dict[str, str] = {
     "CG008": "predict/predict_batch/n_features export inconsistency",
     "CG009": "parsed code and model disagree on a probe vector",
     "CG010": "bare non-finite float literal in generated C",
+    "EA000": "ensemble analyzer could not run",
+    "EA001": "dead branch: split threshold outside its reachable interval",
+    "EA002": "unreachable leaf (inside a dead subtree)",
+    "EA003": "leaf value is NaN or infinite",
+    "EA004": "reachable raw prediction decodes to a non-finite time",
+    "EA005": "distinct same-feature thresholds within one float32 ulp",
+    "EA006": "schema feature no tree ever splits on",
+    "EA007": "tree node orphaned or shared between parents",
+    "EA008": "split threshold is NaN or infinite",
+    "EA009": "base score is NaN or infinite",
+    "EA010": "split feature index outside [0, n_features)",
     "FS000": "feature-schema detector could not run",
     "FS001": "feature emitted by the extractor but never declared",
     "FS002": "feature declared but never emitted",
@@ -54,9 +74,28 @@ RULES: Dict[str, str] = {
     "FS004": "persisted model n_features mismatch",
     "FS005": "declared (operator, stage) pair the engine never produces",
     "FS006": "duplicate feature within one stage declaration",
-    "LK000": "lock-discipline checker could not run",
-    "LK001": "attribute guarded elsewhere but accessed without the lock",
+    "LK000": "concurrency checker could not run",
+    "LK001": "attribute guarded elsewhere but accessed with no lock held",
     "LK002": "shared mutable attribute never accessed under a lock",
+    "LK003": "lock-order inversion between two locks of one class",
+    "LK004": "blocking call while holding a lock",
+    "LK005": "await while holding a lock",
+    "LK006": "lock may still be held when the function exits",
+    "LK007": "release of a lock not held on any path",
+    "LK008": "re-acquiring a held non-reentrant lock (self-deadlock)",
+    "PI000": "plan-invariant verifier could not run",
+    "PI001": "operator missing stage declaration or physical class",
+    "PI002": "operator declared both binary and materializing",
+    "PI003": "operator no pipeline-decomposition branch can handle",
+    "PI004": "declared stages disagree with the pipeline decomposer",
+    "PI005": "malformed stage tuple (not one of the legal shapes)",
+    "PI006": "pipeline-breaker BUILD append without pipeline completion",
+    "PI007": "fresh pipeline does not start with a scan stage",
+    "PI008": "probe stage declared for an operator that cannot be probed",
+    "PI009": "percentage feature emitted without dividing by start",
+    "PI010": "expression percentages do not partition the classes",
+    "PI011": "cardinality model missing non-negativity/selectivity clamp",
+    "PI012": "target-transform bounds not finite or clip missing",
     "PL000": "project lint could not run",
     "PL001": "untyped raise in library code",
     "PL002": "bare except",
@@ -74,23 +113,34 @@ class CheckReport:
     suppressed: List[Finding]
     analyzers_run: List[str]
     elapsed_seconds: float
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
-        return 1 if self.findings else 0
+        if any(f.rule.endswith("000") for f in self.findings):
+            return EXIT_ANALYZER_CRASH
+        return EXIT_FINDINGS if self.findings else 0
 
     def render(self, fmt: str = "text") -> str:
         if fmt == "json":
             payload = json.loads(render_json(self.findings, self.suppressed))
             payload["analyzers"] = self.analyzers_run
             payload["elapsed_seconds"] = round(self.elapsed_seconds, 3)
+            payload["analyzer_seconds"] = {
+                name: round(seconds, 3)
+                for name, seconds in self.timings.items()}
+            payload["exit_code"] = self.exit_code
             return json.dumps(payload, indent=2)
+        if fmt == "sarif":
+            return render_sarif(self.findings, self.suppressed, RULES)
         if fmt == "text":
             return render_text(self.findings, self.suppressed)
-        raise CheckError(f"unknown output format {fmt!r} (use text or json)")
+        raise CheckError(
+            f"unknown output format {fmt!r} (use text, json, or sarif)")
 
 
-def _load_booster(model_path: Union[str, Path]) -> BoostedTreesModel:
+def _load_model_document(model_path: Union[str, Path]
+                         ) -> Tuple[BoostedTreesModel, Optional[List[str]]]:
     """Accept either a T3Model JSON or a bare tree-model document."""
     path = Path(model_path)
     if not path.exists():
@@ -101,27 +151,56 @@ def _load_booster(model_path: Union[str, Path]) -> BoostedTreesModel:
     except json.JSONDecodeError as exc:
         raise CheckError(f"model file {path} is not JSON: {exc}") from exc
     if isinstance(payload, dict) and "model" in payload:
-        return loads_model(json.dumps(payload["model"]))
-    return loads_model(text)
+        names = payload.get("feature_names")
+        return (loads_model(json.dumps(payload["model"])),
+                list(names) if isinstance(names, list) else None)
+    return loads_model(text), None
 
 
-def _run_codegen(model_path: Optional[str]) -> List[Finding]:
-    if model_path is not None:
-        booster = _load_booster(model_path)
-        label = Path(model_path).name
+def _load_booster(model_path: Union[str, Path]) -> BoostedTreesModel:
+    return _load_model_document(model_path)[0]
+
+
+@dataclass(frozen=True)
+class CheckOptions:
+    """Knobs shared by all analyzer runners."""
+
+    model_path: Optional[str] = None
+    #: EA006 (never-split schema features) is opt-in: a small but
+    #: legitimate model leaves most of the schema unsplit, and flooding
+    #: every ``--model`` run with warnings would teach users to ignore
+    #: the analyzer.
+    check_unused_features: bool = False
+
+
+def _run_codegen(opts: CheckOptions) -> List[Finding]:
+    if opts.model_path is not None:
+        booster = _load_booster(opts.model_path)
+        label = Path(opts.model_path).name
     else:
         booster = self_check_model()
         label = "<self-check model>"
     return verify_codegen(booster, path=f"<generated C for {label}>")
 
 
-#: analyzer name -> (rule-id prefix, runner taking the model path).
-ANALYZERS: Dict[str, Tuple[str, Callable[[Optional[str]], List[Finding]]]] = {
+def _run_ensemble(opts: CheckOptions) -> List[Finding]:
+    if opts.model_path is not None:
+        booster, names = _load_model_document(opts.model_path)
+        return analyze_ensemble(
+            booster, path=Path(opts.model_path).name, feature_names=names,
+            check_unused_features=opts.check_unused_features)
+    return analyze_ensemble(self_check_model(), path="<self-check model>")
+
+
+#: analyzer name -> (rule-id prefix, runner taking the shared options).
+ANALYZERS: Dict[str, Tuple[str, Callable[[CheckOptions], List[Finding]]]] = {
     "codegen": ("CG", _run_codegen),
-    "feature-schema": ("FS",
-                       lambda model: check_feature_schema(model_path=model)),
-    "lockcheck": ("LK", lambda model: check_lock_discipline()),
-    "lint": ("PL", lambda model: check_lint()),
+    "feature-schema": ("FS", lambda opts: check_feature_schema(
+        model_path=opts.model_path)),
+    "plan-invariants": ("PI", lambda opts: check_plan_invariants()),
+    "ensemble": ("EA", _run_ensemble),
+    "concurrency": ("LK", lambda opts: check_lock_discipline()),
+    "lint": ("PL", lambda opts: check_lint()),
 }
 
 
@@ -143,29 +222,37 @@ def _selected_analyzers(rules: Optional[Sequence[str]]) -> Dict[str, bool]:
 
 def run_checks(rules: Optional[Sequence[str]] = None,
                baseline: Optional[Union[str, Path, Baseline]] = None,
-               model_path: Optional[str] = None) -> CheckReport:
+               model_path: Optional[str] = None,
+               check_unused_features: bool = False) -> CheckReport:
     """Run the selected analyzers and apply the baseline.
 
     ``rules`` filters by full id (``LK001``) or analyzer prefix
     (``LK``); empty means everything. ``baseline`` may be a path or a
-    loaded :class:`Baseline`. ``model_path`` feeds the codegen verifier
-    and the schema drift detector a persisted model to cross-check.
+    loaded :class:`Baseline`. ``model_path`` feeds the codegen verifier,
+    the ensemble analyzer, and the schema drift detector a persisted
+    model to cross-check; ``check_unused_features`` additionally turns
+    on EA006 for that model.
     """
     started = time.perf_counter()
     selected = _selected_analyzers(rules)
     wanted = {rule.upper() for rule in rules} if rules else None
+    opts = CheckOptions(model_path=model_path,
+                        check_unused_features=check_unused_features)
 
     findings: List[Finding] = []
     analyzers_run: List[str] = []
+    timings: Dict[str, float] = {}
     for name, (prefix, runner) in ANALYZERS.items():
         if not selected[name]:
             continue
         analyzers_run.append(name)
+        analyzer_started = time.perf_counter()
         try:
-            produced = runner(model_path)
+            produced = runner(opts)
         except CheckError as exc:
             produced = [Finding(f"{prefix}000", Severity.ERROR,
                                 "<driver>", 0, str(exc))]
+        timings[name] = time.perf_counter() - analyzer_started
         findings.extend(produced)
 
     if wanted is not None:
@@ -181,4 +268,5 @@ def run_checks(rules: Optional[Sequence[str]] = None,
     new, suppressed = loaded.split(findings)
     return CheckReport(findings=new, suppressed=suppressed,
                        analyzers_run=analyzers_run,
-                       elapsed_seconds=time.perf_counter() - started)
+                       elapsed_seconds=time.perf_counter() - started,
+                       timings=timings)

@@ -37,14 +37,19 @@ from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..errors import CheckError
+from .astutils import (
+    PACKAGE_ROOT,
+    find_class_function,
+    load_module_ast,
+    repo_relative,
+)
 from .findings import Finding, Severity
 
 __all__ = ["DeclaredSchema", "extract_declared_schema",
            "extract_emitted_features", "check_feature_schema"]
 
-_PACKAGE_ROOT = Path(__file__).resolve().parents[1]
-_FEATURES_PATH = _PACKAGE_ROOT / "core" / "features.py"
-_STAGES_PATH = _PACKAGE_ROOT / "engine" / "stages.py"
+_FEATURES_PATH = PACKAGE_ROOT / "core" / "features.py"
+_STAGES_PATH = PACKAGE_ROOT / "engine" / "stages.py"
 
 
 @dataclass
@@ -81,15 +86,6 @@ class EmittedFeatures:
                    for prefix in self.prefixes)
 
 
-def _load_ast(path: Path) -> ast.Module:
-    if not path.exists():
-        raise CheckError(f"source file not found: {path}")
-    try:
-        return ast.parse(path.read_text(), filename=str(path))
-    except SyntaxError as exc:
-        raise CheckError(f"cannot parse {path}: {exc}") from exc
-
-
 def _enum_pair(node: ast.expr) -> Optional[Tuple[str, str]]:
     """``(OperatorType.X, Stage.Y)`` -> ``("X", "Y")``."""
     if not (isinstance(node, ast.Tuple) and len(node.elts) == 2):
@@ -105,7 +101,7 @@ def _enum_pair(node: ast.expr) -> Optional[Tuple[str, str]]:
 def extract_declared_schema(features_path: Union[str, Path] = _FEATURES_PATH
                             ) -> DeclaredSchema:
     """Read ``_STAGE_FEATURES`` from the source, without importing it."""
-    tree = _load_ast(Path(features_path))
+    tree = load_module_ast(features_path)
     for node in tree.body:
         targets = []
         if isinstance(node, ast.Assign):
@@ -145,7 +141,7 @@ def extract_declared_schema(features_path: Union[str, Path] = _FEATURES_PATH
 def extract_operator_stages(stages_path: Union[str, Path] = _STAGES_PATH
                             ) -> Dict[str, List[str]]:
     """Read ``OPERATOR_STAGES`` (operator member -> stage members)."""
-    tree = _load_ast(Path(stages_path))
+    tree = load_module_ast(stages_path)
     for node in ast.walk(tree):
         if not isinstance(node, (ast.Assign, ast.AnnAssign)):
             continue
@@ -169,23 +165,14 @@ def extract_operator_stages(stages_path: Union[str, Path] = _STAGES_PATH
     raise CheckError(f"OPERATOR_STAGES not found in {stages_path}")
 
 
-def _function(tree: ast.Module, cls: str, name: str) -> ast.FunctionDef:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef) and node.name == cls:
-            for item in node.body:
-                if isinstance(item, ast.FunctionDef) and item.name == name:
-                    return item
-    raise CheckError(f"{cls}.{name} not found")
-
-
 def extract_emitted_features(features_path: Union[str, Path] = _FEATURES_PATH
                              ) -> EmittedFeatures:
     """Read the extractor chain's emit capability from the source."""
-    tree = _load_ast(Path(features_path))
+    tree = load_module_ast(features_path)
     emitted = EmittedFeatures(handled={}, prefixes={},
                               expression_keys={}, direct={})
 
-    basic = _function(tree, "FeatureRegistry", "_basic_features")
+    basic = find_class_function(tree, "FeatureRegistry", "_basic_features")
     for node in ast.walk(basic):
         if isinstance(node, ast.Compare):
             left, ops, comparators = node.left, node.ops, node.comparators
@@ -202,14 +189,14 @@ def extract_emitted_features(features_path: Union[str, Path] = _FEATURES_PATH
                     and isinstance(node.args[0], ast.Constant)):
                 emitted.prefixes.setdefault(node.args[0].value, node.lineno)
 
-    expressions = _function(tree, "FeatureRegistry", "_expression_percentages")
+    expressions = find_class_function(tree, "FeatureRegistry", "_expression_percentages")
     for node in ast.walk(expressions):
         if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
             for key in node.value.keys:
                 if isinstance(key, ast.Constant) and isinstance(key.value, str):
                     emitted.expression_keys.setdefault(key.value, key.lineno)
 
-    add_stage = _function(tree, "FeatureRegistry", "_add_stage")
+    add_stage = find_class_function(tree, "FeatureRegistry", "_add_stage")
     for node in ast.walk(add_stage):
         if (isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
@@ -242,15 +229,6 @@ def _expected_feature_names(schema: DeclaredSchema,
     return names
 
 
-def _relative(path: Path) -> str:
-    """Repo-relative, '/'-separated rendering of a source path."""
-    parts = path.resolve().parts
-    if "repro" in parts:
-        index = len(parts) - 1 - parts[::-1].index("repro")
-        return "/".join(("src",) + parts[index:])
-    return "/".join(parts[-2:])
-
-
 def check_feature_schema(features_path: Union[str, Path] = _FEATURES_PATH,
                          stages_path: Union[str, Path] = _STAGES_PATH,
                          model_path: Optional[Union[str, Path]] = None
@@ -258,7 +236,7 @@ def check_feature_schema(features_path: Union[str, Path] = _FEATURES_PATH,
     """Run the drift detector; optionally include a saved model file."""
     findings: List[Finding] = []
     features_path = Path(features_path)
-    rel = _relative(features_path)
+    rel = repo_relative(features_path)
     schema = extract_declared_schema(features_path)
     emitted = extract_emitted_features(features_path)
     operator_stages = extract_operator_stages(stages_path)

@@ -30,7 +30,8 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import CheckError
 
-__all__ = ["Severity", "Finding", "Suppression", "Baseline"]
+__all__ = ["Severity", "Finding", "Suppression", "Baseline",
+           "write_baseline", "update_baseline"]
 
 
 class Severity(Enum):
@@ -218,3 +219,64 @@ def write_baseline(findings: Sequence[Finding],
         lines.append(f"line = {finding.line}")
         lines.append("")
     Path(path).write_text("\n".join(lines))
+
+
+_REASON_STUB = "# reason: TODO — justify why this finding is grandfathered"
+
+
+def update_baseline(findings: Sequence[Finding],
+                    path: Union[str, Path]) -> "tuple[int, int, int]":
+    """Rewrite the baseline at ``path`` from the current findings.
+
+    Merge semantics, so hand-written justifications survive:
+
+    * existing suppressions that still match at least one finding are
+      kept verbatim (including their ``reason``),
+    * findings no existing entry covers get a new exact entry with a
+      ``# reason:`` stub to fill in,
+    * suppressions that no longer match anything are dropped.
+
+    Returns ``(kept, added, dropped)`` entry counts.
+    """
+    path = Path(path)
+    existing = Baseline.load(path).suppressions if path.exists() else []
+
+    kept: List[Suppression] = []
+    remaining = list(findings)
+    for suppression in existing:
+        matched = [f for f in remaining if suppression.matches(f)]
+        if matched:
+            kept.append(suppression)
+            remaining = [f for f in remaining
+                         if not suppression.matches(f)]
+    dropped = len(existing) - len(kept)
+
+    added: List[Suppression] = []
+    seen = set()
+    for finding in remaining:
+        key = (finding.rule, finding.path, finding.line)
+        if key not in seen:
+            seen.add(key)
+            added.append(Suppression(rule=finding.rule, path=finding.path,
+                                     line=finding.line))
+
+    lines = ["# Managed by `repro-t3 check --update-baseline`.",
+             "# Entries grandfather pre-existing findings; every entry",
+             "# needs a written reason. Delete entries as the underlying",
+             "# issues are fixed.", ""]
+    for suppression in kept + added:
+        lines.append("[[suppress]]")
+        lines.append(f'rule = "{suppression.rule}"')
+        if suppression.path is not None:
+            lines.append(f'path = "{suppression.path}"')
+        if suppression.line is not None:
+            lines.append(f"line = {suppression.line}")
+        if suppression.reason:
+            escaped = suppression.reason.replace("\\", "\\\\")
+            escaped = escaped.replace('"', '\\"')
+            lines.append(f'reason = "{escaped}"')
+        else:
+            lines.append(_REASON_STUB)
+        lines.append("")
+    path.write_text("\n".join(lines))
+    return len(kept), len(added), dropped

@@ -27,11 +27,10 @@ from pathlib import Path
 from typing import List, Optional, Set, Union
 
 from ..errors import CheckError
+from .astutils import PACKAGE_ROOT, dotted_name
 from .findings import Finding, Severity
 
 __all__ = ["allowed_exception_names", "check_lint", "lint_source"]
-
-_PACKAGE_ROOT = Path(__file__).resolve().parents[1]
 
 #: Modules allowed to raise anything (process edges: exit codes, HTTP).
 _RAISE_EXEMPT = {"cli.py", "serving/http.py"}
@@ -57,24 +56,12 @@ _LEGACY_NP_RANDOM = {
 def allowed_exception_names(
         errors_path: Optional[Union[str, Path]] = None) -> Set[str]:
     """Class names defined in ``errors.py`` (all ReproError subclasses)."""
-    path = Path(errors_path) if errors_path else _PACKAGE_ROOT / "errors.py"
+    path = Path(errors_path) if errors_path else PACKAGE_ROOT / "errors.py"
     if not path.exists():
         raise CheckError(f"errors module not found: {path}")
     tree = ast.parse(path.read_text(), filename=str(path))
     return {node.name for node in ast.walk(tree)
             if isinstance(node, ast.ClassDef)}
-
-
-def _dotted(node: ast.expr) -> Optional[str]:
-    """Render ``a.b.c`` attribute chains; None for anything else."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
 
 
 def lint_source(source: str, rel_path: str,
@@ -184,7 +171,7 @@ def _check_defaults(node: Union[ast.FunctionDef, ast.AsyncFunctionDef,
 
 def _check_random_call(node: ast.Call, rel: str,
                        findings: List[Finding]) -> None:
-    dotted = _dotted(node.func)
+    dotted = dotted_name(node.func)
     if dotted is None:
         return
     parts = dotted.split(".")
@@ -206,7 +193,7 @@ def _check_random_call(node: ast.Call, rel: str,
 
 def check_lint(root: Optional[Union[str, Path]] = None) -> List[Finding]:
     """Lint every module under ``root`` (default: the repro package)."""
-    root = Path(root) if root else _PACKAGE_ROOT
+    root = Path(root) if root else PACKAGE_ROOT
     if not root.is_dir():
         raise CheckError(f"lint root is not a directory: {root}")
     allowed = allowed_exception_names(

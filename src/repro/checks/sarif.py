@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 rendering for the static-analysis driver.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the file produced here annotates PRs with
+every finding at its ``file:line``. The document is deliberately
+minimal — one run, one tool, the full rule table, one result per
+finding — but valid per the 2.1.0 schema, so any SARIF viewer works.
+
+Baseline-suppressed findings are still emitted, carrying a
+``suppressions`` entry with ``kind: "external"`` — viewers show them
+greyed out instead of losing them, which keeps the SARIF view and the
+TOML baseline telling the same story.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .findings import Finding, Severity
+
+__all__ = ["render_sarif", "SARIF_SCHEMA", "SARIF_VERSION"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_TOOL_NAME = "repro-t3-check"
+_INFO_URI = "https://github.com/paper-repro/t3"
+
+
+def _result(finding: Finding, rule_index: Dict[str, int],
+            suppressed: bool) -> dict:
+    result: dict = {
+        "ruleId": finding.rule,
+        "level": ("error" if finding.severity is Severity.ERROR
+                  else "warning"),
+        "message": {"text": finding.message},
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    location: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": finding.path},
+        }
+    }
+    if finding.line > 0:
+        location["physicalLocation"]["region"] = {
+            "startLine": finding.line}
+    result["locations"] = [location]
+    if suppressed:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "suppressed by checks_baseline.toml",
+        }]
+    return result
+
+
+def render_sarif(findings: Sequence[Finding],
+                 suppressed: Sequence[Finding],
+                 rules: Dict[str, str],
+                 tool_version: str = "0") -> str:
+    """One SARIF run covering new and baseline-suppressed findings."""
+    rule_ids = sorted(rules)
+    rule_index = {rule: index for index, rule in enumerate(rule_ids)}
+    rule_objects: List[dict] = [{
+        "id": rule,
+        "shortDescription": {"text": rules[rule]},
+        "defaultConfiguration": {"level": "error"},
+    } for rule in rule_ids]
+
+    results = [_result(f, rule_index, suppressed=False) for f in findings]
+    results += [_result(f, rule_index, suppressed=True) for f in suppressed]
+
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "informationUri": _INFO_URI,
+                    "version": tool_version,
+                    "rules": rule_objects,
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+    return json.dumps(document, indent=2)

@@ -11,7 +11,8 @@ Subcommands cover the library's end-to-end workflow:
 * ``predict``   — predict the execution time of a SQL query,
 * ``serve``     — run the online prediction service (HTTP),
 * ``check``     — run the static-analysis suite (codegen verifier,
-  feature-schema drift, lock discipline, project lint).
+  feature-schema drift, plan invariants, ensemble analysis,
+  concurrency checking, project lint).
 
 Example session::
 
@@ -121,7 +122,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="RULE",
                        help="run only this rule id (LK001) or analyzer "
                             "prefix (LK); repeatable")
-    check.add_argument("--format", default="text", choices=("text", "json"),
+    check.add_argument("--format", default="text",
+                       choices=("text", "json", "sarif"),
                        dest="fmt", help="findings output format")
     check.add_argument("--baseline", default=None,
                        help="suppression TOML (default: checks_baseline.toml "
@@ -131,9 +133,17 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--model", default=None,
                        help="saved model JSON to cross-check against the "
                             "generated C and the live feature schema")
+    check.add_argument("--check-unused-features", action="store_true",
+                       help="with --model: also warn (EA006) about schema "
+                            "features no tree ever splits on")
     check.add_argument("--write-baseline", metavar="PATH",
                        help="write current findings as a suppression "
                             "baseline to PATH and exit 0")
+    check.add_argument("--update-baseline", action="store_true",
+                       help="rewrite the baseline in place: keep entries "
+                            "that still match (and their reasons), add "
+                            "stub entries for new findings, drop stale "
+                            "ones; exit 0")
     check.add_argument("--list-rules", action="store_true",
                        help="print every rule id and exit")
     return parser
@@ -287,14 +297,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     from .checks import RULES, run_checks
     from .checks.driver import DEFAULT_BASELINE_NAME
-    from .checks.findings import write_baseline
+    from .checks.findings import update_baseline, write_baseline
 
     if args.list_rules:
         for rule in sorted(RULES):
             print(f"{rule}  {RULES[rule]}")
         return 0
+    regenerating = bool(args.write_baseline or args.update_baseline)
     baseline = None
-    if not args.no_baseline and not args.write_baseline:
+    if not args.no_baseline and not regenerating:
         if args.baseline:
             if not Path(args.baseline).exists():
                 raise ReproError(f"baseline file not found: {args.baseline}")
@@ -302,11 +313,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
         elif Path(DEFAULT_BASELINE_NAME).exists():
             baseline = DEFAULT_BASELINE_NAME
     report = run_checks(rules=args.rules or None, baseline=baseline,
-                        model_path=args.model)
+                        model_path=args.model,
+                        check_unused_features=args.check_unused_features)
     if args.write_baseline:
         write_baseline(report.findings, args.write_baseline)
         print(f"wrote {len(report.findings)} suppression(s) "
               f"to {args.write_baseline}")
+        return 0
+    if args.update_baseline:
+        target = args.baseline or DEFAULT_BASELINE_NAME
+        kept, added, dropped = update_baseline(report.findings, target)
+        print(f"updated {target}: kept {kept}, added {added} "
+              f"(with reason stubs), dropped {dropped}")
         return 0
     print(report.render(args.fmt))
     return report.exit_code

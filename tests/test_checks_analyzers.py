@@ -1,7 +1,9 @@
-"""Feature-schema, lock-discipline, lint, baseline, and driver tests.
+"""Feature-schema, lint, baseline, and driver tests.
 
 Seeded-violation sources prove each analyzer actually fires; the
-repo-level runs prove the codebase itself is clean.
+repo-level runs prove the codebase itself is clean. (The concurrency,
+plan-invariant, ensemble, CFG, and SARIF layers have their own test
+modules.)
 """
 
 from __future__ import annotations
@@ -17,88 +19,11 @@ from repro.checks import (
     Suppression,
     check_feature_schema,
     check_lint,
-    check_lock_discipline,
     run_checks,
 )
-from repro.checks.findings import write_baseline
+from repro.checks.findings import update_baseline, write_baseline
 from repro.checks.lint import allowed_exception_names, lint_source
 from repro.errors import CheckError
-
-# ---------------------------------------------------------------------------
-# lock discipline
-# ---------------------------------------------------------------------------
-
-_LOCK_VIOLATIONS = '''
-import threading
-
-class Sloppy:
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._total = 0
-
-    def hit(self):
-        with self._lock:
-            self._hits += 1
-
-    def hit_unsafely(self):
-        self._hits += 1          # LK001: guarded in hit(), not here
-
-    def add(self, n):
-        self._total = self._total + n   # LK002: never guarded
-'''
-
-_LOCK_CLEAN = '''
-import threading
-
-class Tidy:
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._done = threading.Event()
-
-    def hit(self):
-        with self._lock:
-            self._hits += 1
-
-    def snapshot(self):
-        with self._lock:
-            return self._hits
-
-    def finish(self):
-        self._done.set()         # call receiver, not a write
-'''
-
-
-def _write(tmp_path, name, source):
-    path = tmp_path / name
-    path.write_text(source)
-    return path
-
-
-def test_lockcheck_flags_seeded_violations(tmp_path):
-    path = _write(tmp_path, "sloppy.py", _LOCK_VIOLATIONS)
-    findings = check_lock_discipline(paths=[path])
-    rules = {f.rule for f in findings}
-    assert rules == {"LK001", "LK002"}
-    assert any("_hits" in f.message for f in findings)
-    assert any("_total" in f.message for f in findings)
-    assert all(f.line > 0 for f in findings)
-
-
-def test_lockcheck_accepts_disciplined_class(tmp_path):
-    path = _write(tmp_path, "tidy.py", _LOCK_CLEAN)
-    assert check_lock_discipline(paths=[path]) == []
-
-
-def test_lockcheck_missing_path_is_typed_error():
-    with pytest.raises(CheckError):
-        check_lock_discipline(paths=["/nonexistent/nowhere.py"])
-
-
-def test_serving_layer_is_lock_clean():
-    assert check_lock_discipline() == []
-
 
 # ---------------------------------------------------------------------------
 # lint
@@ -216,13 +141,16 @@ def test_run_checks_repo_is_clean():
     report = run_checks()
     assert report.findings == []
     assert report.exit_code == 0
-    assert set(report.analyzers_run) == {"codegen", "feature-schema",
-                                         "lockcheck", "lint"}
+    assert set(report.analyzers_run) == {
+        "codegen", "feature-schema", "plan-invariants", "ensemble",
+        "concurrency", "lint"}
+    assert set(report.timings) == set(report.analyzers_run)
+    assert all(seconds >= 0.0 for seconds in report.timings.values())
 
 
 def test_run_checks_rule_filter_limits_analyzers():
     report = run_checks(rules=["LK"])
-    assert report.analyzers_run == ["lockcheck"]
+    assert report.analyzers_run == ["concurrency"]
     report = run_checks(rules=["CG005", "PL001"])
     assert set(report.analyzers_run) == {"codegen", "lint"}
 
@@ -258,8 +186,107 @@ def test_report_json_rendering(tmp_path):
     assert payload["counts"]["errors"] == 1
     assert payload["findings"][0]["rule"] == "FS004"
     assert payload["analyzers"] == ["feature-schema"]
+    assert set(payload["analyzer_seconds"]) == {"feature-schema"}
+    assert payload["exit_code"] == 1
 
 
 def test_report_rejects_unknown_format():
     with pytest.raises(CheckError):
         run_checks(rules=["LK"]).render("yaml")
+
+
+def _small_model_doc(tmp_path):
+    """A valid 1-tree model that splits on f0 but never on f1."""
+    from repro.trees.boosting import BoostedTreesModel
+    from repro.trees.serialize import dumps_model
+    from repro.trees.tree import Tree, TreeNode
+
+    tree = Tree.from_nodes([
+        TreeNode(feature=0, threshold=1.0, left=1, right=2),
+        TreeNode(value=0.1),
+        TreeNode(value=0.2),
+    ])
+    path = tmp_path / "small_model.json"
+    path.write_text(dumps_model(BoostedTreesModel([tree], 0.0, 2)))
+    return str(path)
+
+
+def test_unused_feature_check_is_opt_in(tmp_path):
+    # A small-but-legitimate model leaves schema features unsplit; the
+    # default --model run must not flood EA006 warnings (verify caught
+    # 116 of them on a 16-query demo model before this gate existed).
+    model = _small_model_doc(tmp_path)
+    report = run_checks(rules=["EA"], model_path=model)
+    assert report.findings == []
+    report = run_checks(rules=["EA"], model_path=model,
+                        check_unused_features=True)
+    assert {f.rule for f in report.findings} == {"EA006"}
+    assert report.exit_code == 1
+
+
+def test_analyzer_crash_exits_3_not_1():
+    # A missing model file makes the model-consuming analyzers raise;
+    # the driver converts that into <prefix>000 findings and a distinct
+    # exit code so CI can tell broken checker from broken code.
+    report = run_checks(rules=["FS"],
+                        model_path="/nonexistent/model.json")
+    assert report.exit_code == 3
+    assert [f.rule for f in report.findings] == ["FS000"]
+    assert "model file not found" in report.findings[0].message
+
+
+def test_analyzer_crash_findings_are_baselinable():
+    baseline = Baseline([Suppression(rule="FS000")])
+    report = run_checks(rules=["FS"],
+                        model_path="/nonexistent/model.json",
+                        baseline=baseline)
+    assert report.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# update_baseline (merge semantics)
+# ---------------------------------------------------------------------------
+
+def test_update_baseline_fresh_file_adds_reason_stubs(tmp_path):
+    path = tmp_path / "baseline.toml"
+    kept, added, dropped = update_baseline(
+        [_finding(), _finding(rule="PL004", line=3)], path)
+    assert (kept, added, dropped) == (0, 2, 0)
+    text = path.read_text()
+    assert text.count("[[suppress]]") == 2
+    assert text.count("# reason: TODO") == 2
+    loaded = Baseline.load(path)
+    assert loaded.is_suppressed(_finding())
+    assert loaded.is_suppressed(_finding(rule="PL004", line=3))
+
+
+def test_update_baseline_keeps_matching_entries_with_reasons(tmp_path):
+    path = tmp_path / "baseline.toml"
+    path.write_text(
+        "[[suppress]]\n"
+        'rule = "LK002"\n'
+        'path = "src/repro/serving/x.py"\n'
+        'reason = "grandfathered until the registry rework"\n')
+    kept, added, dropped = update_baseline(
+        [_finding(), _finding(rule="PL004", line=3)], path)
+    assert (kept, added, dropped) == (1, 1, 0)
+    text = path.read_text()
+    assert "grandfathered until the registry rework" in text
+    assert text.count("# reason: TODO") == 1
+
+
+def test_update_baseline_drops_stale_entries(tmp_path):
+    path = tmp_path / "baseline.toml"
+    path.write_text(
+        "[[suppress]]\n"
+        'rule = "CG009"\n'
+        'reason = "fixed long ago"\n')
+    kept, added, dropped = update_baseline([_finding()], path)
+    assert (kept, added, dropped) == (0, 1, 1)
+    assert "CG009" not in path.read_text()
+
+
+def test_update_baseline_dedupes_identical_findings(tmp_path):
+    path = tmp_path / "baseline.toml"
+    kept, added, dropped = update_baseline([_finding(), _finding()], path)
+    assert (kept, added, dropped) == (0, 1, 0)

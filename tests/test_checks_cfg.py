@@ -1,0 +1,238 @@
+"""CFG builder golden tests plus dataflow-solver behaviour.
+
+The golden strings pin the exact block/edge structure for the shapes
+the concurrency analyzer depends on: try/finally release patterns,
+nested ``with``, early return inside ``with`` (the case the old lexical
+checker could not see), and loop back-edges. ``describe()`` is the
+stable rendering contract — if the builder changes shape, these tests
+say exactly where.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.checks.cfg import (
+    CFG,
+    WithEnter,
+    WithExit,
+    build_cfg,
+    forward_dataflow,
+)
+from repro.errors import CheckError
+
+
+def _cfg(source):
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    return build_cfg(func)
+
+
+# ---------------------------------------------------------------------------
+# golden structure
+# ---------------------------------------------------------------------------
+
+def test_golden_try_finally():
+    cfg = _cfg('''
+        def f(self):
+            self._lock.acquire()
+            try:
+                self._count += 1
+                return self._count
+            finally:
+                self._lock.release()
+        ''')
+    assert cfg.describe() == "\n".join([
+        "B0(entry) lines[3] -> [B3]",
+        "B1(exit) lines[] -> []",
+        "B2(finally) lines[8] -> [B1]",
+        "B3(try) lines[5,6] -> [B2]",
+    ])
+
+
+def test_golden_nested_with():
+    cfg = _cfg('''
+        def f(self):
+            with self._a:
+                with self._b:
+                    self._x = 1
+                self._y = 2
+        ''')
+    assert cfg.describe() == "\n".join([
+        "B0(entry) lines[3,4,5] -> [B2]",
+        "B1(exit) lines[] -> []",
+        "B2(with-exit) lines[4,6] -> [B3]",
+        "B3(with-exit) lines[3] -> [B1]",
+    ])
+    # The inner with releases (B2) strictly before the outer one (B3).
+    exits = [e for b in cfg.blocks for e in b.events
+             if isinstance(e, WithExit)]
+    assert [e.line for e in exits] == [4, 3]
+
+
+def test_golden_early_return_inside_with():
+    cfg = _cfg('''
+        def f(self):
+            with self._lock:
+                if self._closed:
+                    return None
+                self._hits += 1
+            return self._hits
+        ''')
+    assert cfg.describe() == "\n".join([
+        "B0(entry) lines[3,4] -> [B2,B4]",
+        "B1(exit) lines[] -> []",
+        "B2(then) lines[5] -> [B3]",
+        "B3(with-exit) lines[3] -> [B1]",
+        "B4(after-if) lines[6] -> [B5]",
+        "B5(with-exit) lines[3,7] -> [B1]",
+    ])
+    # Both the early return (via B3) and the normal path (via B5) pass
+    # through a WithExit before reaching the exit block.
+    for pred in cfg.predecessors(CFG.EXIT):
+        assert any(isinstance(e, WithExit)
+                   for e in cfg.blocks[pred].events)
+
+
+def test_golden_loop_back_edge_and_break():
+    cfg = _cfg('''
+        def f(self):
+            total = 0
+            while self._more:
+                total += self._step
+                if total > 10:
+                    break
+            return total
+        ''')
+    assert cfg.describe() == "\n".join([
+        "B0(entry) lines[3] -> [B2]",
+        "B1(exit) lines[] -> []",
+        "B2(loop-head) lines[4] -> [B4,B3]",
+        "B3(after-loop) lines[8] -> [B1]",
+        "B4(loop-body) lines[5,6] -> [B5,B6]",
+        "B5(then) lines[] -> [B3]",
+        "B6(after-if) lines[] -> [B2]",
+    ])
+    assert (2, 4) in cfg.edges()      # head -> body
+    assert (6, 2) in cfg.edges()      # the back edge
+    assert (5, 3) in cfg.edges()      # break jumps straight to after-loop
+
+
+def test_with_enter_events_carry_items():
+    cfg = _cfg('''
+        def f(self):
+            with self._lock:
+                pass
+        ''')
+    enters = [e for b in cfg.blocks for e in b.events
+              if isinstance(e, WithEnter)]
+    assert len(enters) == 1
+    assert isinstance(enters[0].item, ast.withitem)
+    assert enters[0].line == 3
+
+
+def test_exception_edge_reaches_handler():
+    cfg = _cfg('''
+        def f(self):
+            try:
+                self._risky()
+            except ValueError:
+                self._count = 0
+            return self._count
+        ''')
+    try_block = cfg.block_of_line(4)
+    handler = cfg.block_of_line(5)
+    assert handler.index in try_block.successors
+
+
+def test_raise_without_handlers_routes_to_exit_via_with_exit():
+    cfg = _cfg('''
+        def f(self):
+            with self._lock:
+                raise RuntimeError("boom")
+        ''')
+    raising = cfg.block_of_line(4)
+    (succ,) = raising.successors
+    assert any(isinstance(e, WithExit) for e in cfg.blocks[succ].events)
+    assert CFG.EXIT in cfg.blocks[succ].successors
+
+
+def test_break_outside_loop_is_typed_error():
+    tree = ast.parse("def f():\n    pass")
+    func = tree.body[0]
+    func.body = [ast.Break(lineno=2, col_offset=4)]
+    with pytest.raises(CheckError):
+        build_cfg(func)
+
+
+def test_lambda_is_wrapped():
+    lam = ast.parse("g = lambda x: x + 1").body[0].value
+    cfg = build_cfg(lam)
+    assert cfg.name == "<lambda>"
+    assert CFG.EXIT in cfg.blocks[CFG.ENTRY].successors
+
+
+# ---------------------------------------------------------------------------
+# dataflow solver
+# ---------------------------------------------------------------------------
+
+def _lock_transfer(state, event):
+    """Toy transfer: track which with-items are open, by line."""
+    if isinstance(event, WithEnter):
+        return state | {str(event.line)}
+    if isinstance(event, WithExit):
+        return state - {str(event.line)}
+    return state
+
+
+def test_must_analysis_drops_lock_after_merge():
+    cfg = _cfg('''
+        def f(self):
+            if self._flag:
+                with self._lock:
+                    self._x = 1
+            self._y = 2
+        ''')
+    states = forward_dataflow(cfg, _lock_transfer, frozenset(),
+                              lambda a, b: a & b)
+    # After the if merges the locked and unlocked paths, nothing is
+    # must-held; at the exit the set must be empty.
+    assert states[CFG.EXIT] == frozenset()
+
+
+def test_may_analysis_keeps_unreleased_lock():
+    cfg = _cfg('''
+        def f(self):
+            self._lock.acquire()
+            if self._flag:
+                return 1
+            return 2
+        ''')
+
+    def transfer(state, event):
+        if isinstance(event, ast.AST):
+            for node in ast.walk(event):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "acquire"):
+                    return state | {"lock"}
+        return state
+
+    states = forward_dataflow(cfg, transfer, frozenset(),
+                              lambda a, b: a | b)
+    assert states[CFG.EXIT] == frozenset({"lock"})
+
+
+def test_loop_fixpoint_converges():
+    cfg = _cfg('''
+        def f(self):
+            while self._more:
+                with self._lock:
+                    self._n += 1
+            return self._n
+        ''')
+    states = forward_dataflow(cfg, _lock_transfer, frozenset(),
+                              lambda a, b: a & b)
+    assert states[CFG.EXIT] == frozenset()

@@ -6,6 +6,9 @@ import json
 
 from repro.cli import main
 
+_ALL_ANALYZERS = {"codegen", "feature-schema", "plan-invariants",
+                  "ensemble", "concurrency", "lint"}
+
 
 def _stale_model(tmp_path):
     path = tmp_path / "stale_model.json"
@@ -22,13 +25,22 @@ def test_check_json_format(capsys):
     assert main(["check", "--format", "json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["findings"] == []
-    assert set(payload["analyzers"]) == {"codegen", "feature-schema",
-                                         "lockcheck", "lint"}
+    assert set(payload["analyzers"]) == _ALL_ANALYZERS
+    assert set(payload["analyzer_seconds"]) == _ALL_ANALYZERS
+
+
+def test_check_sarif_format(capsys):
+    assert main(["check", "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"] == []
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-t3-check"
 
 
 def test_check_rule_filter(capsys):
     assert main(["check", "--rule", "LK", "--format", "json"]) == 0
-    assert json.loads(capsys.readouterr().out)["analyzers"] == ["lockcheck"]
+    assert (json.loads(capsys.readouterr().out)["analyzers"]
+            == ["concurrency"])
 
 
 def test_check_unknown_rule_fails(capsys):
@@ -39,7 +51,8 @@ def test_check_unknown_rule_fails(capsys):
 def test_check_list_rules(capsys):
     assert main(["check", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("CG001", "FS001", "LK001", "PL001"):
+    for rule in ("CG001", "FS001", "LK001", "LK008", "PI001", "PI012",
+                 "EA001", "EA010", "PL001"):
         assert rule in out
 
 
@@ -47,6 +60,12 @@ def test_check_seeded_drift_exits_nonzero(tmp_path, capsys):
     stale = _stale_model(tmp_path)
     assert main(["check", "--rule", "FS", "--model", stale]) == 1
     assert "FS004" in capsys.readouterr().out
+
+
+def test_check_analyzer_crash_exits_3(tmp_path, capsys):
+    missing = str(tmp_path / "never_written.json")
+    assert main(["check", "--rule", "FS", "--model", missing]) == 3
+    assert "FS000" in capsys.readouterr().out
 
 
 def test_check_write_baseline_then_suppress(tmp_path, capsys):
@@ -61,6 +80,25 @@ def test_check_write_baseline_then_suppress(tmp_path, capsys):
     assert "suppressed by baseline" in out
     assert main(["check", "--rule", "FS", "--model", stale,
                  "--no-baseline", "--baseline", baseline]) == 1
+
+
+def test_check_update_baseline_round_trip(tmp_path, capsys):
+    stale = _stale_model(tmp_path)
+    baseline = str(tmp_path / "baseline.toml")
+    assert main(["check", "--rule", "FS", "--model", stale,
+                 "--baseline", baseline, "--update-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "kept 0, added 1" in out
+    content = open(baseline).read()
+    assert "# reason: TODO" in content
+    # The regenerated baseline suppresses the finding on the next run.
+    assert main(["check", "--rule", "FS", "--model", stale,
+                 "--baseline", baseline]) == 0
+    assert "suppressed by baseline" in capsys.readouterr().out
+    # Re-running update on a now-clean tree drops the stale entry.
+    assert main(["check", "--rule", "LK",
+                 "--baseline", baseline, "--update-baseline"]) == 0
+    assert "dropped 1" in capsys.readouterr().out
 
 
 def test_check_missing_baseline_fails(capsys):

@@ -1,0 +1,501 @@
+"""Concurrency checker (LK rules): per-rule triggers and clean passes.
+
+Each LK rule gets at least one planted-defect fixture that fires it and
+one clean fixture that exercises the same shape without the defect —
+the clean side is what separates a dataflow analysis from a grep. The
+mutation test takes a correct acquire/try/finally/release pattern,
+deletes the ``release()``, and asserts the checker notices.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.checks.concurrency import analyze_source, check_lock_discipline
+from repro.errors import CheckError
+
+
+def _findings(source):
+    return analyze_source(textwrap.dedent(source), "fixture.py")
+
+
+def _rules(source):
+    return {f.rule for f in _findings(source)}
+
+
+# ---------------------------------------------------------------------------
+# LK001 — guarded elsewhere, unguarded here
+# ---------------------------------------------------------------------------
+
+_LK001_BAD = '''
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+
+    def hit(self):
+        with self._lock:
+            self._hits += 1
+
+    def hit_unsafely(self):
+        self._hits += 1
+'''
+
+_LK001_CLEAN = '''
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+
+    def hit(self):
+        with self._lock:
+            self._hits += 1
+
+    def snapshot(self):
+        with self._lock:
+            return self._hits
+'''
+
+
+def test_lk001_fires_on_unguarded_access():
+    findings = [f for f in _findings(_LK001_BAD) if f.rule == "LK001"]
+    assert len(findings) == 1
+    assert findings[0].line == 14
+    assert "hit_unsafely" in findings[0].message
+
+
+def test_lk001_clean_when_every_access_guarded():
+    assert _rules(_LK001_CLEAN) == set()
+
+
+def test_lk001_manual_acquire_release_counts_as_guarded():
+    # A manual acquire/try/finally/release pair guards exactly like a
+    # `with` block — the lexical predecessor could not see this.
+    source = '''
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+
+    def hit(self):
+        with self._lock:
+            self._hits += 1
+
+    def hit_manually(self):
+        self._lock.acquire()
+        try:
+            self._hits += 1
+        finally:
+            self._lock.release()
+'''
+    assert _rules(source) == set()
+
+
+def test_lk001_early_return_path_still_guarded():
+    source = '''
+import threading
+
+class Gate:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._open = False
+
+    def toggle(self):
+        with self._lock:
+            if self._open:
+                return False
+            self._open = True
+        return True
+'''
+    assert _rules(source) == set()
+
+
+# ---------------------------------------------------------------------------
+# LK002 — never guarded anywhere
+# ---------------------------------------------------------------------------
+
+def test_lk002_fires_on_never_guarded_write():
+    source = '''
+import threading
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def add(self, n):
+        self._total = self._total + n
+'''
+    findings = [f for f in _findings(source) if f.rule == "LK002"]
+    assert len(findings) == 1
+    assert "_total" in findings[0].message
+
+
+def test_lk002_ignores_call_receivers():
+    source = '''
+import threading
+
+class Done:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+
+    def finish(self):
+        self._event.set()
+'''
+    assert _rules(source) == set()
+
+
+# ---------------------------------------------------------------------------
+# LK003 — lock-order inversion
+# ---------------------------------------------------------------------------
+
+_LK003_BAD = '''
+import threading
+
+class TwoLocks:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def ab(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def ba(self):
+        with self._b:
+            with self._a:
+                pass
+'''
+
+
+def test_lk003_fires_on_inverted_order():
+    findings = [f for f in _findings(_LK003_BAD) if f.rule == "LK003"]
+    assert len(findings) == 1
+    assert "inversion" in findings[0].message
+
+
+def test_lk003_clean_when_order_is_consistent():
+    consistent = _LK003_BAD.replace("with self._b:\n            "
+                                    "with self._a:",
+                                    "with self._a:\n            "
+                                    "with self._b:")
+    assert _rules(consistent) == set()
+
+
+# ---------------------------------------------------------------------------
+# LK004 — blocking call under a lock
+# ---------------------------------------------------------------------------
+
+def test_lk004_fires_on_sleep_under_lock():
+    source = '''
+import threading
+import time
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def poll(self):
+        with self._lock:
+            time.sleep(0.1)
+'''
+    findings = [f for f in _findings(source) if f.rule == "LK004"]
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+
+
+def test_lk004_clean_when_sleep_is_outside_lock():
+    source = '''
+import threading
+import time
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def poll(self):
+        with self._lock:
+            self._n += 1
+        time.sleep(0.1)
+'''
+    assert _rules(source) == set()
+
+
+def test_lk004_condition_wait_is_not_blocking():
+    # Condition.wait releases the lock atomically while sleeping; it is
+    # the designed pattern, not a bug.
+    source = '''
+import threading
+
+class Queueish:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = 0
+
+    def take(self):
+        with self._cond:
+            while self._items == 0:
+                self._cond.wait()
+            self._items -= 1
+'''
+    assert _rules(source) == set()
+
+
+def test_lk004_thread_join_under_lock():
+    source = '''
+import threading
+
+class Stopper:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._worker = threading.Thread(target=lambda: None)
+
+    def stop(self):
+        with self._lock:
+            self._worker.join()
+'''
+    assert "LK004" in _rules(source)
+
+
+# ---------------------------------------------------------------------------
+# LK005 — await under a lock
+# ---------------------------------------------------------------------------
+
+def test_lk005_fires_on_await_under_lock():
+    source = '''
+import threading
+
+class AsyncThing:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def run(self, coro):
+        with self._lock:
+            await coro
+'''
+    findings = [f for f in _findings(source) if f.rule == "LK005"]
+    assert len(findings) == 1
+
+
+def test_lk005_clean_when_await_is_outside_lock():
+    source = '''
+import threading
+
+class AsyncThing:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    async def run(self, coro):
+        with self._lock:
+            self._n += 1
+        await coro
+'''
+    assert _rules(source) == set()
+
+
+# ---------------------------------------------------------------------------
+# LK006 — lock may still be held at exit (and the mutation test)
+# ---------------------------------------------------------------------------
+
+_MANUAL_PAIR = '''
+import threading
+
+class Manual:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def bump(self):
+        self._lock.acquire()
+        try:
+            self._n += 1
+        finally:
+            self._lock.release()
+'''
+
+
+def test_lk006_clean_on_correct_manual_pair():
+    assert _rules(_MANUAL_PAIR) == set()
+
+
+def test_lk006_mutation_deleting_release_fires():
+    # Mutation test: delete the release() from the correct pattern and
+    # the checker must notice the lock can leak out of the function.
+    mutated = _MANUAL_PAIR.replace("            self._lock.release()\n",
+                                   "            pass\n")
+    assert mutated != _MANUAL_PAIR
+    findings = [f for f in _findings(mutated) if f.rule == "LK006"]
+    assert len(findings) == 1
+    assert "_lock" in findings[0].message
+
+
+def test_lk006_fires_when_one_branch_skips_release():
+    source = '''
+import threading
+
+class Leaky:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = False
+
+    def maybe(self):
+        self._lock.acquire()
+        if self._ready:
+            self._lock.release()
+'''
+    assert "LK006" in _rules(source)
+
+
+def test_lk006_exempts_explicit_lock_protocol_methods():
+    source = '''
+import threading
+
+class Guard:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def __enter__(self):
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self._lock.release()
+'''
+    assert _rules(source) == set()
+
+
+# ---------------------------------------------------------------------------
+# LK007 — release of a lock not held
+# ---------------------------------------------------------------------------
+
+def test_lk007_fires_on_unpaired_release():
+    source = '''
+import threading
+
+class Sloppy:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def oops(self):
+        self._lock.release()
+'''
+    findings = [f for f in _findings(source) if f.rule == "LK007"]
+    assert len(findings) == 1
+    assert "RuntimeError" in findings[0].message
+
+
+def test_lk007_clean_when_release_follows_acquire():
+    assert "LK007" not in _rules(_MANUAL_PAIR)
+
+
+# ---------------------------------------------------------------------------
+# LK008 — re-acquiring a held non-reentrant lock
+# ---------------------------------------------------------------------------
+
+_LK008_BAD = '''
+import threading
+
+class Deadlock:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def outer(self):
+        with self._lock:
+            with self._lock:
+                self._n += 1
+'''
+
+
+def test_lk008_fires_on_nested_plain_lock():
+    findings = [f for f in _findings(_LK008_BAD) if f.rule == "LK008"]
+    assert len(findings) == 1
+    assert "self-deadlock" in findings[0].message
+
+
+def test_lk008_clean_for_rlock():
+    reentrant = _LK008_BAD.replace("threading.Lock()", "threading.RLock()")
+    assert _rules(reentrant) == set()
+
+
+# ---------------------------------------------------------------------------
+# scope rules and entry points
+# ---------------------------------------------------------------------------
+
+def test_closures_are_analyzed_with_their_own_lockset():
+    # The closure runs later, on another thread: the definition-point
+    # lock does not protect it, but its own `with` does.
+    source = '''
+import threading
+
+class Spawner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def start(self):
+        def work():
+            with self._lock:
+                self._n += 1
+        return work
+'''
+    assert _rules(source) == set()
+
+
+def test_closure_without_its_own_lock_is_unguarded():
+    source = '''
+import threading
+
+class Spawner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def guarded(self):
+        with self._lock:
+            self._n += 1
+
+    def start(self):
+        def work():
+            self._n += 1
+        return work
+'''
+    assert "LK001" in _rules(source)
+
+
+def test_classes_without_locks_are_skipped():
+    source = '''
+class Plain:
+    def __init__(self):
+        self._n = 0
+
+    def bump(self):
+        self._n += 1
+'''
+    assert _findings(source) == []
+
+
+def test_serving_layer_is_clean_under_dataflow_analysis():
+    assert check_lock_discipline() == []
+
+
+def test_missing_path_is_typed_error():
+    with pytest.raises(CheckError):
+        check_lock_discipline(paths=["/nonexistent/nowhere.py"])
+
+
+def test_syntax_error_is_typed_error():
+    with pytest.raises(CheckError):
+        analyze_source("def broken(:", "broken.py")

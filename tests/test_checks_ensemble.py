@@ -1,0 +1,216 @@
+"""Ensemble analyzer (EA rules): hand-built oracle trees, per-rule.
+
+The oracle model is three hand-built trees with exactly two planted
+defects — one provably-dead branch and one non-finite leaf — so the
+expected findings are known in full, not just by rule id. The
+remaining rules each get a minimal trigger and a clean counterpart.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.checks.codegen_verify import self_check_model
+from repro.checks.ensemble_analyze import EXP_OVERFLOW, analyze_ensemble
+from repro.trees.boosting import BoostedTreesModel
+from repro.trees.tree import Tree, TreeNode
+
+
+def _node(feature, threshold, left, right):
+    return TreeNode(feature=feature, threshold=threshold,
+                    left=left, right=right)
+
+
+def _leaf(value):
+    return TreeNode(value=value)
+
+
+def _model(trees, base_score=0.0, n_features=4):
+    return BoostedTreesModel(trees, base_score, n_features)
+
+
+def _oracle_model():
+    """3 trees, exactly one dead branch and one non-finite leaf.
+
+    Tree 0 plants the dead branch: the root sends f0 <= 5 left, where a
+    second split on f0 at 7 can only go left — its right child (node 4)
+    is unreachable.
+    Tree 1 plants the non-finite leaf. Tree 2 is clean.
+    """
+    dead_branch = Tree.from_nodes([
+        _node(0, 5.0, 1, 2),
+        _node(0, 7.0, 3, 4),     # f0 in (-inf, 5]: "x[0] > 7" impossible
+        _leaf(0.5),
+        _leaf(0.1),
+        _leaf(0.2),              # unreachable
+    ])
+    nan_leaf = Tree.from_nodes([
+        _node(1, 0.0, 1, 2),
+        _leaf(float("nan")),
+        _leaf(0.3),
+    ])
+    clean = Tree.from_nodes([
+        _node(2, 1.0, 1, 2),
+        _leaf(-0.1),
+        _leaf(0.4),
+    ])
+    return _model([dead_branch, nan_leaf, clean])
+
+
+def test_oracle_model_yields_exactly_the_planted_defects():
+    findings = analyze_ensemble(_oracle_model(), path="oracle")
+    by_rule = {}
+    for finding in findings:
+        by_rule.setdefault(finding.rule, []).append(finding)
+    assert set(by_rule) == {"EA001", "EA002", "EA003"}
+    assert len(by_rule["EA001"]) == 1
+    assert len(by_rule["EA002"]) == 1
+    assert len(by_rule["EA003"]) == 1
+
+    dead = by_rule["EA001"][0]
+    assert "tree 0" in dead.message and "node 1" in dead.message
+    assert "x[0] > 7" in dead.message
+    unreachable = by_rule["EA002"][0]
+    assert "tree 0" in unreachable.message and "leaf 4" in unreachable.message
+    nonfinite = by_rule["EA003"][0]
+    assert "tree 1" in nonfinite.message and "leaf 1" in nonfinite.message
+
+
+def test_oracle_model_without_defects_is_clean():
+    clean = Tree.from_nodes([
+        _node(0, 5.0, 1, 2),
+        _node(0, 3.0, 3, 4),     # 3 < 5: both children reachable
+        _leaf(0.5),
+        _leaf(0.1),
+        _leaf(0.2),
+    ])
+    assert analyze_ensemble(_model([clean])) == []
+
+
+# ---------------------------------------------------------------------------
+# per-rule triggers and clean passes
+# ---------------------------------------------------------------------------
+
+def test_ea001_dead_left_branch():
+    tree = Tree.from_nodes([
+        _node(0, 5.0, 1, 2),
+        _leaf(0.1),
+        _node(0, 5.0, 3, 4),     # f0 in (5, inf): "x[0] <= 5" impossible
+        _leaf(0.2),
+        _leaf(0.3),
+    ])
+    findings = analyze_ensemble(_model([tree]))
+    assert [f.rule for f in findings] == ["EA001", "EA002"]
+    assert "x[0] <= 5" in findings[0].message
+
+
+def test_ea004_reachable_prediction_overflows_decode():
+    overflowing = _model([Tree.single_leaf(-(EXP_OVERFLOW + 1.0))])
+    findings = analyze_ensemble(overflowing)
+    assert [f.rule for f in findings] == ["EA004"]
+    assert "exp(-raw)" in findings[0].message
+
+
+def test_ea004_clean_just_inside_the_overflow_bound():
+    safe = _model([Tree.single_leaf(-(EXP_OVERFLOW - 1.0))])
+    assert analyze_ensemble(safe) == []
+
+
+def test_ea004_sums_minima_across_trees_and_base():
+    # Each tree alone is safe; together with the base score they sum
+    # below -log(DBL_MAX).
+    half = -(EXP_OVERFLOW / 2.0)
+    model = _model([Tree.single_leaf(half), Tree.single_leaf(half)],
+                   base_score=-2.0)
+    assert [f.rule for f in analyze_ensemble(model)] == ["EA004"]
+
+
+def test_ea005_near_tie_thresholds_warn():
+    a = Tree.from_nodes([_node(0, 1.0, 1, 2), _leaf(0.0), _leaf(1.0)])
+    b = Tree.from_nodes([_node(0, 1.0 + 1e-8, 1, 2), _leaf(0.0), _leaf(1.0)])
+    findings = analyze_ensemble(_model([a, b]))
+    assert [f.rule for f in findings] == ["EA005"]
+    assert findings[0].severity.value == "warning"
+    assert "float32 ulp" in findings[0].message
+
+
+def test_ea005_identical_thresholds_are_exact_not_ambiguous():
+    a = Tree.from_nodes([_node(0, 1.0, 1, 2), _leaf(0.0), _leaf(1.0)])
+    b = Tree.from_nodes([_node(0, 1.0, 1, 2), _leaf(0.2), _leaf(0.8)])
+    assert analyze_ensemble(_model([a, b])) == []
+
+
+def test_ea006_unused_feature_gated_and_named():
+    tree = Tree.from_nodes([_node(0, 1.0, 1, 2), _leaf(0.0), _leaf(1.0)])
+    model = _model([tree], n_features=3)
+    assert analyze_ensemble(model) == []  # off by default
+    findings = analyze_ensemble(
+        model, feature_names=["a", "b", "c"], check_unused_features=True)
+    assert [f.rule for f in findings] == ["EA006", "EA006"]
+    assert {"b", "c"} <= {w for f in findings for w in f.message.split()}
+
+
+def test_ea007_shared_and_orphaned_nodes():
+    tree = Tree.from_nodes([
+        _node(0, 1.0, 1, 1),     # both children point at node 1
+        _leaf(0.0),
+        _leaf(1.0),              # orphaned
+    ])
+    findings = analyze_ensemble(_model([tree]))
+    assert [f.rule for f in findings] == ["EA007", "EA007"]
+    messages = " | ".join(f.message for f in findings)
+    assert "shared by 2 parents" in messages
+    assert "orphaned" in messages
+
+
+def test_ea008_non_finite_threshold():
+    tree = Tree.from_nodes([
+        _node(0, float("inf"), 1, 2), _leaf(0.0), _leaf(1.0)])
+    rules = {f.rule for f in analyze_ensemble(_model([tree]))}
+    assert "EA008" in rules
+
+
+def test_ea009_non_finite_base_score():
+    model = _model([Tree.single_leaf(0.5)], base_score=float("nan"))
+    findings = analyze_ensemble(model)
+    assert [f.rule for f in findings] == ["EA009"]
+
+
+def test_ea010_feature_index_out_of_range():
+    tree = Tree.from_nodes([_node(7, 1.0, 1, 2), _leaf(0.0), _leaf(1.0)])
+    findings = analyze_ensemble(_model([tree], n_features=4))
+    assert [f.rule for f in findings] == ["EA010"]
+    assert "reads past the vector" in findings[0].message
+
+
+def test_broken_topology_suppresses_interval_walk():
+    # A malformed tree must not also spray EA001/EA002 noise: interval
+    # propagation over broken topology is meaningless.
+    tree = Tree.from_nodes([
+        _node(0, 1.0, 1, 1),
+        _leaf(0.0),
+        _leaf(1.0),
+    ])
+    rules = [f.rule for f in analyze_ensemble(_model([tree]))]
+    assert set(rules) == {"EA007"}
+
+
+# ---------------------------------------------------------------------------
+# constants and the self-check model
+# ---------------------------------------------------------------------------
+
+def test_exp_overflow_matches_double_precision():
+    assert math.isfinite(math.exp(EXP_OVERFLOW - 1e-6))
+    with pytest.raises(OverflowError):
+        math.exp(EXP_OVERFLOW + 1.0)
+    with np.errstate(over="ignore"):
+        assert np.isinf(np.exp(np.float64(EXP_OVERFLOW + 1.0)))
+
+
+def test_self_check_model_is_clean():
+    # The driver analyzes this model on every `repro-t3 check` run with
+    # no --model; it must never carry a planted defect of its own.
+    assert analyze_ensemble(self_check_model()) == []
