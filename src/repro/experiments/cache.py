@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 import pickle
 import re
+import uuid
 from pathlib import Path
 from typing import Any, Callable, Optional
 
@@ -41,31 +42,63 @@ class DiskCache:
         safe = re.sub(r"[^A-Za-z0-9_.-]", "_", key)
         return self.directory / f"{CACHE_VERSION}-{safe}.pkl"
 
+    _MISS = object()
+
     def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, building it if needed."""
         if not self.enabled:
             return builder()
         path = self._path(key)
-        if path.exists():
-            try:
-                with path.open("rb") as handle:
-                    return pickle.load(handle)
-            except Exception:
-                path.unlink(missing_ok=True)  # corrupt cache entry
+        value = self._read(path)
+        if value is not self._MISS:
+            return value
         value = builder()
-        self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with tmp.open("wb") as handle:
-            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
+        self._write_atomic(path, value)
         return value
+
+    def _read(self, path: Path) -> Any:
+        """Load one entry; quarantines (never returns) corrupt files."""
+        if not path.exists():
+            return self._MISS
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            self._quarantine(path)
+            return self._MISS
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a truncated/corrupt entry aside so a rebuild can proceed
+        and the bad bytes stay available for diagnosis."""
+        target = path.with_name(f"{path.name}.corrupt-{uuid.uuid4().hex[:8]}")
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Another process already quarantined or rebuilt it.
+            pass
+
+    def _write_atomic(self, path: Path, value: Any) -> None:
+        """Publish via write-temp-then-rename so readers never observe a
+        partially written pickle; the temp name is unique per writer so
+        concurrent builders cannot clobber each other's temp file."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     def invalidate(self, key: str) -> None:
         self._path(key).unlink(missing_ok=True)
 
     def clear(self) -> None:
         if self.directory.exists():
-            for path in self.directory.glob(f"{CACHE_VERSION}-*.pkl"):
+            for path in self.directory.glob(f"{CACHE_VERSION}-*"):
                 path.unlink()
 
 

@@ -43,6 +43,31 @@ class TestDiskCache:
         path.write_bytes(b"garbage")
         assert cache.get_or_build("k", lambda: 2) == 2
 
+    def test_corrupt_entry_quarantined_not_deleted(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.get_or_build("k", lambda: 1)
+        path = cache._path("k")
+        path.write_bytes(b"truncated pickle")
+        cache.get_or_build("k", lambda: 2)
+        quarantined = list(tmp_path.glob("*.corrupt-*"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_bytes() == b"truncated pickle"
+        # The rebuilt entry is valid and served on the next read.
+        assert cache.get_or_build("k", lambda: 3) == 2
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.get_or_build("k", lambda: {"big": list(range(1000))})
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_clear_removes_quarantined_and_temp_files(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.get_or_build("k", lambda: 1)
+        cache._path("k").write_bytes(b"garbage")
+        cache.get_or_build("k", lambda: 2)
+        cache.clear()
+        assert not list(tmp_path.iterdir())
+
     def test_key_sanitization(self, tmp_path):
         cache = DiskCache(tmp_path)
         assert cache.get_or_build("weird/key with spaces", lambda: 3) == 3
