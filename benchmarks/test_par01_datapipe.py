@@ -1,0 +1,111 @@
+"""PAR-1: parallel offline data pipeline — serial vs process-pool build.
+
+Beyond-paper experiment for the offline side of T3's "minutes not
+hours" claim (ISSUE 4): the 21-instance workload build
+(generate -> optimize -> simulate) fans out over a process pool, and
+featurization writes matrix-direct. The acceptance bar is a >= 2.5x
+workload-build speedup with ``jobs=4`` on a >= 4-core machine — and,
+always, bit-identical datasets (feature matrix, targets, query
+ordering) between the serial and parallel builds.
+
+Numbers land in ``BENCH_datapipe.json`` at the repo root so CI can
+track the speedup on every PR::
+
+    REPRO_BENCH_SCALE=smoke pytest benchmarks/test_par01_datapipe.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dataset import build_dataset
+from repro.core.model import T3Model
+from repro.datagen.instances import all_instance_names
+from repro.datagen.workload import build_corpus_workload
+from repro.experiments.reporting import format_seconds, print_table
+from repro.parallel import build_corpus_workload_parallel, resolve_jobs
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_datapipe.json"
+
+#: Speedup bar from ISSUE 4, enforced when the machine can express it.
+MIN_SPEEDUP = 2.5
+BAR_JOBS = 4
+
+
+def test_parallel_datapipe(ctx, benchmark):
+    names = all_instance_names()
+    config = ctx.workload_config()
+    jobs = resolve_jobs(ctx.jobs)
+
+    start = time.perf_counter()
+    serial_queries = build_corpus_workload(names, config)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_queries = build_corpus_workload_parallel(names, config,
+                                                      jobs=jobs)
+    parallel_seconds = time.perf_counter() - start
+    build_speedup = serial_seconds / parallel_seconds
+
+    # Determinism: the parallel build must be bit-identical to the
+    # serial one — same queries in the same order, and identical
+    # feature matrices and targets after featurization.
+    assert [q.name for q in serial_queries] == \
+        [q.name for q in parallel_queries]
+    serial_ds = build_dataset(serial_queries, seed=ctx.seed)
+    parallel_ds = build_dataset(parallel_queries, seed=ctx.seed)
+    assert np.array_equal(serial_ds.X, parallel_ds.X)
+    assert np.array_equal(serial_ds.y, parallel_ds.y)
+    assert np.array_equal(serial_ds.input_cards, parallel_ds.input_cards)
+    assert np.array_equal(serial_ds.query_index, parallel_ds.query_index)
+
+    start = time.perf_counter()
+    model = T3Model.from_dataset(serial_ds, ctx.t3_config())
+    train_seconds = time.perf_counter() - start
+    model.close()
+
+    cores = os.cpu_count() or 1
+    record = {
+        "scale": ctx.scale.name,
+        "queries_per_structure": config.queries_per_structure,
+        "n_queries": len(serial_queries),
+        "n_pipeline_rows": serial_ds.n_rows,
+        "jobs": jobs,
+        "cpu_count": cores,
+        "serial_build_seconds": round(serial_seconds, 3),
+        "parallel_build_seconds": round(parallel_seconds, 3),
+        "build_speedup": round(build_speedup, 3),
+        "train_seconds": round(train_seconds, 3),
+        "datasets_bit_identical": True,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_table(
+        "PAR-1: offline data pipeline (workload build + train)",
+        ["stage", "time", "speedup"],
+        [["serial build", format_seconds(serial_seconds), "1.0x"],
+         [f"parallel build (jobs={jobs})", format_seconds(parallel_seconds),
+          f"{build_speedup:.2f}x"],
+         [f"train ({ctx.scale.boosting_rounds} rounds, "
+          f"{serial_ds.n_rows} rows)", format_seconds(train_seconds), "-"]],
+        note=f"{len(serial_queries)} queries, {cores} cores; "
+             f"datasets bit-identical; recorded in {RESULT_PATH.name}")
+
+    # Acceptance (ISSUE 4): >= 2.5x with jobs=4 on a 4-core runner. A
+    # pool cannot beat the serial loop on fewer cores, so the bar only
+    # applies where the hardware can express it.
+    if jobs >= BAR_JOBS and cores >= BAR_JOBS:
+        assert build_speedup >= MIN_SPEEDUP, (
+            f"parallel build {parallel_seconds:.2f}s vs serial "
+            f"{serial_seconds:.2f}s = {build_speedup:.2f}x, "
+            f"expected >= {MIN_SPEEDUP}x with jobs={jobs}")
+
+    # Steady-state featurization throughput for the ledger: one full
+    # matrix-direct featurization pass over the held-out family.
+    test_queries = [q for q in serial_queries if q.family == "tpcds"]
+    benchmark(lambda: build_dataset(test_queries, seed=ctx.seed))

@@ -7,8 +7,8 @@ layout drifts. Three artifacts must agree:
 1. the **declarations** — ``_STAGE_FEATURES`` in ``core/features.py``
    and ``OPERATOR_STAGES`` in ``engine/stages.py``,
 2. the **emit sites** — the ``suffix == "..."`` extractor chain in
-   ``FeatureRegistry._basic_features`` plus the keys returned by
-   ``_expression_percentages`` (routed through ``_add``/``_add_stage``),
+   ``FeatureRegistry._basic_feature_values`` plus the keys returned by
+   ``_expression_percentages`` (routed through ``_fill_stage``),
 3. any **persisted model** — ``n_features`` and, when present, the
    ``feature_names`` layout saved by :meth:`repro.core.model.T3Model.save`.
 
@@ -76,7 +76,8 @@ class EmittedFeatures:
     prefixes: Dict[str, int]
     #: keys of the dict `_expression_percentages` returns
     expression_keys: Dict[str, int]
-    #: literal suffixes passed straight to ``self._add`` (e.g. ``count``)
+    #: features emitted structurally (``count`` via the stage plan's
+    #: ``count_index`` write in ``_fill_stage``)
     direct: Dict[str, int]
 
     def covers(self, suffix: str) -> bool:
@@ -172,7 +173,8 @@ def extract_emitted_features(features_path: Union[str, Path] = _FEATURES_PATH
     emitted = EmittedFeatures(handled={}, prefixes={},
                               expression_keys={}, direct={})
 
-    basic = find_class_function(tree, "FeatureRegistry", "_basic_features")
+    basic = find_class_function(tree, "FeatureRegistry",
+                                "_basic_feature_values")
     for node in ast.walk(basic):
         if isinstance(node, ast.Compare):
             left, ops, comparators = node.left, node.ops, node.comparators
@@ -196,14 +198,10 @@ def extract_emitted_features(features_path: Union[str, Path] = _FEATURES_PATH
                 if isinstance(key, ast.Constant) and isinstance(key.value, str):
                     emitted.expression_keys.setdefault(key.value, key.lineno)
 
-    add_stage = find_class_function(tree, "FeatureRegistry", "_add_stage")
-    for node in ast.walk(add_stage):
-        if (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "_add" and len(node.args) >= 4
-                and isinstance(node.args[3], ast.Constant)
-                and isinstance(node.args[3].value, str)):
-            emitted.direct.setdefault(node.args[3].value, node.lineno)
+    fill_stage = find_class_function(tree, "FeatureRegistry", "_fill_stage")
+    for node in ast.walk(fill_stage):
+        if isinstance(node, ast.Attribute) and node.attr == "count_index":
+            emitted.direct.setdefault("count", node.lineno)
     return emitted
 
 
@@ -265,7 +263,7 @@ def check_feature_schema(features_path: Union[str, Path] = _FEATURES_PATH,
                     "FS002", Severity.ERROR, rel, suffix_line,
                     f"feature {suffix!r} declared for ({pair[0]}, "
                     f"{pair[1]}) has no extractor branch in "
-                    "_basic_features"))
+                    "_basic_feature_values"))
 
     # FS001: extractor-side emissions nothing declares.
     declared_suffixes = schema.all_suffixes()

@@ -331,7 +331,8 @@ def verify_featurization_ast(path: Union[str, Path] = _FEATURES_PATH
     rel = repo_relative(path)
     findings: List[Finding] = []
 
-    basic = find_class_function(tree, "FeatureRegistry", "_basic_features")
+    basic = find_class_function(tree, "FeatureRegistry",
+                                "_basic_feature_values")
     for literal, branch in _suffix_branches(basic):
         if literal not in _PERCENTAGE_SUFFIXES:
             continue

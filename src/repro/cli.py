@@ -4,6 +4,8 @@ Subcommands cover the library's end-to-end workflow:
 
 * ``instances`` — list the 21-instance corpus,
 * ``workload``  — generate and benchmark a workload, saved as a pickle,
+* ``build-workload`` — pre-warm the experiment cache: build the full
+  21-instance workload on a process pool (``--jobs`` / ``REPRO_JOBS``),
 * ``train``     — train T3 on saved workloads, save the model as JSON,
 * ``evaluate``  — q-error of a saved model on a saved workload,
 * ``explain``   — show plan, pipelines, and feature vectors for a SQL
@@ -37,7 +39,7 @@ from .errors import ReproError
 from .core.model import T3Config, T3Model
 from .core.features import default_registry
 from .datagen.instances import all_instance_names, get_instance
-from .datagen.workload import WorkloadBuilder, WorkloadConfig
+from .datagen.workload import WorkloadConfig
 from .engine.cardinality import ExactCardinalityModel
 from .engine.explain import explain, explain_pipelines
 from .engine.optimizer import Optimizer
@@ -61,7 +63,27 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="comma-separated instance names")
     workload.add_argument("--queries-per-structure", type=int, default=6)
     workload.add_argument("--no-fixed-benchmarks", action="store_true")
+    workload.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: REPRO_JOBS env "
+                               "or all cores; 1 = serial)")
     workload.add_argument("-o", "--output", required=True)
+
+    build_workload = subcommands.add_parser(
+        "build-workload",
+        help="pre-warm the experiment cache: build the full corpus "
+             "workload on a process pool")
+    build_workload.add_argument("--scale", default="default",
+                                choices=("smoke", "default", "paper"),
+                                help="experiment scale (queries per "
+                                     "structure: 2 / 6 / 40)")
+    build_workload.add_argument("--jobs", type=int, default=None,
+                                help="worker processes (default: REPRO_JOBS "
+                                     "env or all cores; 1 = serial)")
+    build_workload.add_argument("--seed", type=int, default=None,
+                                help="experiment seed (default: the "
+                                     "library-wide DEFAULT_SEED)")
+    build_workload.add_argument("--force", action="store_true",
+                                help="rebuild even when already cached")
 
     train = subcommands.add_parser("train", help="train a T3 model")
     train.add_argument("-w", "--workload", required=True, nargs="+",
@@ -165,19 +187,53 @@ def _cmd_instances() -> int:
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
+    from .parallel import build_corpus_workload_parallel, resolve_jobs
+
     names = [n.strip() for n in args.instances.split(",") if n.strip()]
+    for name in names:
+        get_instance(name)  # fail on unknown names before building
     config = WorkloadConfig(
         queries_per_structure=args.queries_per_structure,
         include_fixed_benchmarks=not args.no_fixed_benchmarks)
-    queries = []
+    jobs = resolve_jobs(args.jobs)
+    queries = build_corpus_workload_parallel(names, config, jobs=jobs)
     for name in names:
-        builder = WorkloadBuilder(get_instance(name), config)
-        built = builder.build()
-        queries.extend(built)
-        print(f"{name}: {len(built)} queries", file=sys.stderr)
+        count = sum(1 for q in queries if q.instance_name == name)
+        print(f"{name}: {count} queries", file=sys.stderr)
     with open(args.output, "wb") as handle:
         pickle.dump(queries, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    print(f"wrote {len(queries)} benchmarked queries to {args.output}")
+    print(f"wrote {len(queries)} benchmarked queries to {args.output} "
+          f"(jobs={jobs})")
+    return 0
+
+
+def _cmd_build_workload(args: argparse.Namespace) -> int:
+    import time
+
+    from .experiments.context import ExperimentContext, ExperimentScale
+    from .datagen.workload import workload_statistics
+    from .parallel import resolve_jobs
+    from .rng import DEFAULT_SEED
+
+    scale = {
+        "smoke": ExperimentScale.smoke,
+        "default": ExperimentScale.default,
+        "paper": ExperimentScale.paper,
+    }[args.scale]()
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    jobs = resolve_jobs(args.jobs)
+    context = ExperimentContext(scale, seed=seed, jobs=jobs)
+    if args.force:
+        context.cache.invalidate(context.workload_cache_key())
+    start = time.perf_counter()
+    queries = context.workload()
+    elapsed = time.perf_counter() - start
+    stats = workload_statistics(queries)
+    print(f"workload[{args.scale}]: {len(queries)} queries "
+          f"({stats['mean_pipelines']:.1f} pipelines/query mean) "
+          f"in {elapsed:.1f}s with jobs={jobs}", file=sys.stderr)
+    print(f"cached under {context.cache.directory} "
+          f"(key fingerprint {context.cache_fingerprint()})")
     return 0
 
 
@@ -338,6 +394,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_instances()
         if args.command == "workload":
             return _cmd_workload(args)
+        if args.command == "build-workload":
+            return _cmd_build_workload(args)
         if args.command == "train":
             return _cmd_train(args)
         if args.command == "evaluate":

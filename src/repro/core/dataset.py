@@ -21,6 +21,7 @@ from ..engine.cardinality import (
     EstimatedCardinalityModel,
     ExactCardinalityModel,
 )
+from ..engine.pipelines import decompose_into_pipelines
 from ..datagen.instances import get_instance
 from ..datagen.workload import BenchmarkedQuery
 from .features import FeatureRegistry, default_registry
@@ -102,29 +103,37 @@ def build_dataset(queries: Sequence[BenchmarkedQuery],
     if not queries:
         raise TrainingError("cannot build a dataset from zero queries")
     registry = registry or default_registry()
-    rows_X: List[np.ndarray] = []
-    rows_cards: List[np.ndarray] = []
-    rows_times: List[np.ndarray] = []
-    rows_query: List[np.ndarray] = []
 
+    # Decompose every plan first so the full feature matrix can be
+    # allocated once; rows are then written in place (no per-query
+    # temporaries, no concatenation pass).
+    per_query: List[tuple] = []
+    n_rows = 0
     for position, query in enumerate(queries):
         model = cardinality_model_for(query, kind, distortion,
                                       seed=seed + position)
-        vectors, cards = registry.vectors_for_plan(query.plan, model)
-        times = query.pipeline_targets(n_runs)
-        if len(times) != len(vectors):
+        pipelines = decompose_into_pipelines(query.plan)
+        times = np.asarray(query.pipeline_targets(n_runs))
+        if len(times) != len(pipelines):
             raise TrainingError(
                 f"{query.name}: {len(times)} measured pipelines vs "
-                f"{len(vectors)} featurized")
-        rows_X.append(vectors)
-        rows_cards.append(cards)
-        rows_times.append(np.asarray(times))
-        rows_query.append(np.full(len(vectors), position, dtype=np.int64))
+                f"{len(pipelines)} featurized")
+        per_query.append((model, pipelines, times))
+        n_rows += len(pipelines)
 
-    X = np.concatenate(rows_X)
-    input_cards = np.concatenate(rows_cards)
-    pipeline_times = np.concatenate(rows_times)
-    query_index = np.concatenate(rows_query)
+    X = np.zeros((n_rows, registry.n_features), dtype=np.float64)
+    input_cards = np.empty(n_rows, dtype=np.float64)
+    pipeline_times = np.empty(n_rows, dtype=np.float64)
+    query_index = np.empty(n_rows, dtype=np.int64)
+    row = 0
+    for position, (model, pipelines, times) in enumerate(per_query):
+        end = row + len(pipelines)
+        registry.fill_matrix(pipelines, model, X[row:end],
+                             input_cards[row:end])
+        pipeline_times[row:end] = times
+        query_index[row:end] = position
+        row = end
+
     y = transform_target(tuple_time_target(pipeline_times, input_cards))
     return PipelineDataset(X, y, input_cards, pipeline_times, query_index,
                            list(queries), registry)

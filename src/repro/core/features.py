@@ -16,7 +16,7 @@ declarations, so adding an operator requires only a new entry in
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -109,6 +109,23 @@ _STAGE_FEATURES: Dict[Tuple[OperatorType, Stage], Tuple[str, ...]] = {
 }
 
 
+class _StagePlan:
+    """Precomputed write plan for one ``(operator, stage)`` pair.
+
+    Resolving feature names to column indices once at registry
+    construction keeps string formatting and dict lookups off the
+    per-pipeline featurization hot path.
+    """
+
+    __slots__ = ("count_index", "suffixes", "indices")
+
+    def __init__(self, count_index: int, suffixes: Tuple[str, ...],
+                 indices: Tuple[int, ...]):
+        self.count_index = count_index
+        self.suffixes = suffixes
+        self.indices = indices
+
+
 class FeatureRegistry:
     """Assigns a stable index to every feature and builds vectors.
 
@@ -123,6 +140,13 @@ class FeatureRegistry:
             self._register(f"{op_type.value}_{stage.value}_count")
             for suffix in _STAGE_FEATURES.get((op_type, stage), ()):
                 self._register(f"{op_type.value}_{stage.value}_{suffix}")
+        self._stage_plans: Dict[Tuple[OperatorType, Stage], _StagePlan] = {}
+        for op_type, stage in all_operator_stage_pairs():
+            suffixes = _STAGE_FEATURES.get((op_type, stage), ())
+            prefix = f"{op_type.value}_{stage.value}"
+            self._stage_plans[(op_type, stage)] = _StagePlan(
+                self._index[f"{prefix}_count"], tuple(suffixes),
+                tuple(self._index[f"{prefix}_{s}"] for s in suffixes))
 
     def _register(self, name: str) -> None:
         if name in self._index:
@@ -165,90 +189,119 @@ class FeatureRegistry:
                             model: CardinalityModel) -> np.ndarray:
         """One flat feature vector for one pipeline (Listing 1)."""
         vector = np.zeros(self.n_features, dtype=np.float64)
-        start = max(pipeline_input_cardinality(pipeline, model), 1.0)
-        for flow in compute_stage_flows(pipeline, model):
-            self._add_stage(vector, flow, start, model)
+        self.fill_pipeline_row(pipeline, model, vector)
         return vector
+
+    def fill_pipeline_row(self, pipeline: Pipeline, model: CardinalityModel,
+                          out: np.ndarray) -> float:
+        """Write one pipeline's features into ``out`` (matrix-direct path).
+
+        ``out`` is a zero-initialized float64 row of ``n_features``
+        entries — typically a view into a caller-allocated
+        ``(n_pipelines, n_features)`` matrix, so featurizing a workload
+        allocates no per-pipeline vectors or dicts. Returns the
+        pipeline's input cardinality (computed anyway for the
+        percentage features), which callers need as the per-tuple
+        target denominator.
+        """
+        card = pipeline_input_cardinality(pipeline, model)
+        start = max(card, 1.0)
+        for flow in compute_stage_flows(pipeline, model):
+            self._fill_stage(out, flow, start, model)
+        return card
+
+    def fill_matrix(self, pipelines: Sequence[Pipeline],
+                    model: CardinalityModel, out: np.ndarray,
+                    cards_out: Optional[np.ndarray] = None) -> None:
+        """Featurize ``pipelines`` straight into a caller-allocated
+        zeroed ``(len(pipelines), n_features)`` float64 matrix."""
+        if out.shape != (len(pipelines), self.n_features):
+            raise SchemaError(
+                f"output matrix has shape {out.shape}, expected "
+                f"({len(pipelines)}, {self.n_features})")
+        for i, pipeline in enumerate(pipelines):
+            card = self.fill_pipeline_row(pipeline, model, out[i])
+            if cards_out is not None:
+                cards_out[i] = card
 
     def vectors_for_plan(self, plan: PhysicalPlan,
                          model: CardinalityModel
                          ) -> Tuple[np.ndarray, np.ndarray]:
         """Feature matrix plus input cardinalities for all pipelines."""
         pipelines = decompose_into_pipelines(plan)
-        vectors = np.empty((len(pipelines), self.n_features))
+        vectors = np.zeros((len(pipelines), self.n_features), dtype=np.float64)
         cards = np.empty(len(pipelines))
-        for i, pipeline in enumerate(pipelines):
-            vectors[i] = self.vector_for_pipeline(pipeline, model)
-            cards[i] = pipeline_input_cardinality(pipeline, model)
+        self.fill_matrix(pipelines, model, vectors, cards)
         return vectors, cards
 
     # -- per-stage feature extraction -----------------------------------------
 
-    def _add(self, vector: np.ndarray, op_type: OperatorType, stage: Stage,
-             suffix: str, value: float) -> None:
-        vector[self._index[f"{op_type.value}_{stage.value}_{suffix}"]] += value
-
-    def _add_stage(self, vector: np.ndarray, flow: StageFlow, start: float,
-                   model: CardinalityModel) -> None:
+    def _fill_stage(self, out: np.ndarray, flow: StageFlow, start: float,
+                    model: CardinalityModel) -> None:
         op = flow.ref.operator
         op_type, stage = op.op_type, flow.ref.stage
-        key = (op_type, stage)
-        if f"{op_type.value}_{stage.value}_count" not in self._index:
+        plan = self._stage_plans.get((op_type, stage))
+        if plan is None:
             raise SchemaError(
                 f"pipeline produced stage ({op_type.value}, {stage.value}) "
                 "that the feature registry does not know; declare it in "
                 "OPERATOR_STAGES and _STAGE_FEATURES")
-        self._add(vector, op_type, stage, "count", 1.0)
-        declared = _STAGE_FEATURES.get(key, ())
-        values = self._basic_features(flow, start, model, declared)
-        for suffix in declared:
-            self._add(vector, op_type, stage, suffix, values[suffix])
+        out[plan.count_index] += 1.0
+        if not plan.suffixes:
+            return
+        values = self._basic_feature_values(flow, start, model, plan.suffixes)
+        for index, value in zip(plan.indices, values):
+            out[index] += value
 
-    def _basic_features(self, flow: StageFlow, start: float,
-                        model: CardinalityModel,
-                        declared: Sequence[str]) -> Dict[str, float]:
+    def _basic_feature_values(self, flow: StageFlow, start: float,
+                              model: CardinalityModel,
+                              declared: Sequence[str]) -> List[float]:
+        """Basic-feature values aligned with ``declared`` order."""
         op = flow.ref.operator
         stage = flow.ref.stage
-        values: Dict[str, float] = {}
+        expr: Optional[Dict[str, float]] = None
+        values: List[float] = []
         for suffix in declared:
             if suffix == "in_card":
                 if stage is Stage.PROBE:
-                    values[suffix] = flow.state_cardinality
+                    values.append(flow.state_cardinality)
                 elif isinstance(op, PIndexNLJoin):
-                    values[suffix] = float(op.inner_rows_hint)
+                    values.append(float(op.inner_rows_hint))
                 else:
-                    values[suffix] = flow.tuples_in
+                    values.append(flow.tuples_in)
             elif suffix == "in_size":
                 if isinstance(op, PTableScan):
-                    values[suffix] = float(op.scan_byte_width)
+                    values.append(float(op.scan_byte_width))
                 else:
-                    values[suffix] = float(flow.stored_byte_width)
+                    values.append(float(flow.stored_byte_width))
             elif suffix == "in_percentage":
-                values[suffix] = flow.tuples_in / start
+                values.append(flow.tuples_in / start)
             elif suffix == "right_percentage":
-                values[suffix] = flow.tuples_in / start
+                values.append(flow.tuples_in / start)
             elif suffix == "out_percentage":
-                values[suffix] = flow.tuples_out / start
+                values.append(flow.tuples_out / start)
             elif suffix == "out_card":
-                values[suffix] = flow.materialized_cardinality
+                values.append(flow.materialized_cardinality)
             elif suffix == "out_size":
-                values[suffix] = float(op.output_byte_width)
+                values.append(float(op.output_byte_width))
             elif suffix == "n_aggregates":
-                values[suffix] = float(len(op.aggregates))
+                values.append(float(len(op.aggregates)))
             elif suffix == "n_keys":
                 if isinstance(op, PGroupBy):
-                    values[suffix] = float(len(op.group_columns))
+                    values.append(float(len(op.group_columns)))
                 elif isinstance(op, (PSort, PTopK)):
-                    values[suffix] = float(len(op.keys))
+                    values.append(float(len(op.keys)))
                 else:
-                    values[suffix] = 0.0
+                    values.append(0.0)
             elif suffix == "n_operations":
-                values[suffix] = float(op.n_operations) * (flow.tuples_in / start)
+                values.append(float(op.n_operations) * (flow.tuples_in / start))
             elif suffix == "expr_weight":
                 weight = sum(p.evaluation_cost_weight() for p in op.predicates)
-                values[suffix] = weight * (flow.tuples_in / start)
+                values.append(weight * (flow.tuples_in / start))
             elif suffix.startswith("expr_"):
-                values.update(self._expression_percentages(op, start, model))
+                if expr is None:
+                    expr = self._expression_percentages(op, start, model)
+                values.append(expr[suffix])
             else:  # pragma: no cover - registry and extractor stay in sync
                 raise FeatureError(f"no extractor for basic feature {suffix!r}")
         return values

@@ -98,6 +98,9 @@ class WorkloadBuilder:
         self.simulator = ExecutionSimulator(
             instance.catalog, self.config.simulator,
             seed=derive_seed(self.config.seed, "simulator", instance.name))
+        self.generator = RandomQueryGenerator(
+            self.instance, seed=derive_seed(self.config.seed, "querygen"),
+            extended_operators=self.config.extended_operators)
 
     # -- pieces ---------------------------------------------------------
 
@@ -110,18 +113,25 @@ class WorkloadBuilder:
                                 self.instance.family, group, plan, execution,
                                 catalog=self.instance.catalog)
 
+    def benchmark_generated(self, structure, index: int) -> BenchmarkedQuery:
+        """Generate and benchmark one query of one structure group.
+
+        Every random stream involved is derived from
+        ``(seed, instance, structure, index)`` — never from call order —
+        so this produces the same query whether it runs serially, out of
+        order, or in another process (the parallel pipeline relies on
+        this).
+        """
+        logical = self.generator.generate(structure, index)
+        name = f"{self.instance.name}/{structure.name}/{index}"
+        return self.benchmark_logical(logical, name, structure.name)
+
     def generated_queries(self) -> List[BenchmarkedQuery]:
         """All generated structure groups for this instance."""
-        generator = RandomQueryGenerator(
-            self.instance, seed=derive_seed(self.config.seed, "querygen"),
-            extended_operators=self.config.extended_operators)
         queries: List[BenchmarkedQuery] = []
         for structure in QUERY_STRUCTURES:
             for index in range(self.config.queries_per_structure):
-                logical = generator.generate(structure, index)
-                name = f"{self.instance.name}/{structure.name}/{index}"
-                queries.append(self.benchmark_logical(
-                    logical, name, structure.name))
+                queries.append(self.benchmark_generated(structure, index))
         return queries
 
     def fixed_benchmark_queries(self) -> List[BenchmarkedQuery]:

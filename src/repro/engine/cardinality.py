@@ -10,7 +10,7 @@ one interface so plans can be featurized under any of them.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Dict, Tuple
 
 
 from ..errors import CardinalityError
@@ -56,15 +56,24 @@ class CardinalityModel:
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
-        self._memo: Dict[int, float] = {}
+        # id(op) -> (op, cardinality). The operator is stored alongside
+        # its value to pin it alive: without the strong reference, a
+        # discarded candidate operator's id can be recycled by a later
+        # allocation and the memo would serve the dead operator's
+        # cardinality for the new one — a stale hit whose occurrence
+        # depends on allocation history, i.e. non-deterministic plans.
+        self._memo: Dict[int, Tuple[PhysicalOperator, float]] = {}
 
     # -- public API -----------------------------------------------------
 
     def output_cardinality(self, op: PhysicalOperator) -> float:
         key = id(op)
-        if key not in self._memo:
-            self._memo[key] = max(0.0, self._compute(op))
-        return self._memo[key]
+        hit = self._memo.get(key)
+        if hit is None:
+            value = max(0.0, self._compute(op))
+            self._memo[key] = (op, value)
+            return value
+        return hit[1]
 
     def base_cardinality(self, op: PTableScan) -> float:
         """Rows scanned before any predicate — exact in every model."""

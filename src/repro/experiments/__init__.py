@@ -7,13 +7,14 @@ expensive artifacts on disk so the 17 benchmark targets can run
 back-to-back without recomputing them.
 """
 
-from .cache import DiskCache, default_cache
+from .cache import DiskCache, default_cache, fingerprint
 from .context import ExperimentContext, ExperimentScale
 from .reporting import print_table, print_series, format_seconds
 
 __all__ = [
     "DiskCache",
     "default_cache",
+    "fingerprint",
     "ExperimentContext",
     "ExperimentScale",
     "print_table",

@@ -13,16 +13,13 @@ from typing import List, Optional, Sequence
 from ..rng import DEFAULT_SEED
 from ..trees.boosting import BoostingParams
 from ..datagen.instances import all_instance_names
-from ..datagen.workload import (
-    BenchmarkedQuery,
-    WorkloadConfig,
-    build_corpus_workload,
-)
+from ..datagen.workload import BenchmarkedQuery, WorkloadConfig
 from ..core.ablation import TargetMode
 from ..core.dataset import CardinalityKind, build_dataset
 from ..core.model import T3Config, T3Model
 from ..baselines.zeroshot import ZeroShotConfig, ZeroShotModel
-from .cache import DiskCache, default_cache
+from ..parallel import build_corpus_workload_parallel
+from .cache import DiskCache, default_cache, fingerprint
 
 #: The family held out for evaluation throughout the paper.
 TEST_FAMILY = "tpcds"
@@ -63,16 +60,38 @@ class ExperimentContext:
 
     def __init__(self, scale: Optional[ExperimentScale] = None,
                  cache: Optional[DiskCache] = None,
-                 seed: int = DEFAULT_SEED):
+                 seed: int = DEFAULT_SEED,
+                 jobs: Optional[int] = None):
         self.scale = scale or ExperimentScale.default()
         self.cache = cache or default_cache()
         self.seed = seed
+        #: Worker processes for workload construction; ``None`` defers
+        #: to ``REPRO_JOBS`` / cpu count. Never part of cache keys —
+        #: parallel and serial builds are bit-identical.
+        self.jobs = jobs
 
     # -- keys ------------------------------------------------------------
 
+    def cache_fingerprint(self) -> str:
+        """Content hash of everything that determines the artifacts.
+
+        Covers the full :class:`ExperimentScale` and
+        :class:`~repro.datagen.workload.WorkloadConfig` (simulator and
+        optimizer knobs included) plus the seed, so any configuration
+        change re-keys the cache automatically — no hand-maintained
+        version strings. CI uses this as its artifact-cache key.
+        """
+        return fingerprint(self.scale, self.workload_config(), self.seed)
+
     def _key(self, *parts: object) -> str:
         return "-".join(str(p) for p in
-                        ("exp", self.scale.name, self.seed) + parts)
+                        ("exp", self.scale.name, self.cache_fingerprint())
+                        + parts)
+
+    def workload_cache_key(self) -> str:
+        """Cache key of the benchmarked workload (``build-workload``
+        uses it to pre-warm or force-invalidate the entry)."""
+        return self._key("workload")
 
     # -- workloads ----------------------------------------------------------
 
@@ -82,11 +101,17 @@ class ExperimentContext:
             seed=self.seed)
 
     def workload(self) -> List[BenchmarkedQuery]:
-        """The full 21-instance benchmarked workload (cached)."""
+        """The full 21-instance benchmarked workload (cached).
+
+        Built on the process pool (``jobs``/``REPRO_JOBS``); the result
+        is bit-identical to a serial build, so the cache key ignores
+        the worker count.
+        """
         return self.cache.get_or_build(
-            self._key("workload"),
-            lambda: build_corpus_workload(all_instance_names(),
-                                          self.workload_config()))
+            self.workload_cache_key(),
+            lambda: build_corpus_workload_parallel(all_instance_names(),
+                                                   self.workload_config(),
+                                                   jobs=self.jobs))
 
     def instance_workload(self, instance_name: str) -> List[BenchmarkedQuery]:
         return [q for q in self.workload()

@@ -1,0 +1,30 @@
+"""Parallel offline data pipeline.
+
+The offline side of T3 — generate queries, optimize them, benchmark
+them on the simulator, featurize — is embarrassingly parallel across
+``(instance, structure, query_index)`` because every random stream in
+the library is derived from those labels (see :mod:`repro.rng`), never
+from call order. This package fans that work out over a process pool
+and reassembles the results in the exact serial order, so a parallel
+build is bit-identical to a serial one.
+
+Worker count comes from, in priority order: an explicit ``jobs``
+argument, the ``REPRO_JOBS`` environment variable, ``os.cpu_count()``.
+"""
+
+from .jobs import REPRO_JOBS_ENV, resolve_jobs
+from .executor import process_map
+from .workload import (
+    WorkloadChunk,
+    build_corpus_workload_parallel,
+    iter_workload_chunks,
+)
+
+__all__ = [
+    "REPRO_JOBS_ENV",
+    "WorkloadChunk",
+    "build_corpus_workload_parallel",
+    "iter_workload_chunks",
+    "process_map",
+    "resolve_jobs",
+]

@@ -1,0 +1,34 @@
+"""Order-preserving process-pool map.
+
+A thin wrapper over :class:`concurrent.futures.ProcessPoolExecutor`
+that (a) degrades to a plain in-process loop for ``jobs=1`` or
+single-task inputs, and (b) always returns results in task order, so
+callers that reassemble chunked work never depend on scheduling.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from .jobs import resolve_jobs
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def process_map(fn: Callable[[_T], _R], tasks: Iterable[_T],
+                jobs: Optional[int] = None) -> List[_R]:
+    """Apply ``fn`` to every task, fanning out over ``jobs`` processes.
+
+    ``fn`` must be a module-level callable and tasks/results must be
+    picklable (standard process-pool requirements). Results come back
+    in task order regardless of which worker finished first.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, tasks))

@@ -1,0 +1,35 @@
+"""Worker-count resolution: the ``REPRO_JOBS`` knob.
+
+Every parallel entry point takes an optional ``jobs`` argument; when it
+is ``None``, the ``REPRO_JOBS`` environment variable decides, and when
+that is unset too, all available cores are used. ``jobs=1`` always
+means "run serially in this process" — no pool is created, which keeps
+single-core runs, debuggers, and coverage tools happy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+#: Environment variable consulted when no explicit ``jobs`` is given.
+REPRO_JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: argument > ``REPRO_JOBS`` > cpu_count."""
+    if jobs is None:
+        env = os.environ.get(REPRO_JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{REPRO_JOBS_ENV}={env!r} is not an integer") from None
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs

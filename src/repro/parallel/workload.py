@@ -1,0 +1,117 @@
+"""Parallel workload construction: bit-identical to the serial build.
+
+The corpus workload is a flat list over ``(instance, structure, index)``
+plus each instance's fixed benchmark suite. Both dimensions are carved
+into :class:`WorkloadChunk` tasks — one per structure-chunk and one per
+fixed suite — that worker processes execute independently; because
+query generation and simulator noise are seeded by identity labels (see
+:meth:`~repro.datagen.workload.WorkloadBuilder.benchmark_generated`),
+chunk results depend only on the chunk, not on what ran before it.
+Reassembling chunks in their submission order therefore reproduces the
+serial ``build_corpus_workload`` output exactly, element for element.
+
+Workers strip the per-query ``catalog`` reference before shipping
+results back (catalogs are large and deterministic); the parent
+re-attaches the shared per-instance catalog objects, so downstream
+consumers see exactly what the serial builder produces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..datagen.instances import get_instance
+from ..datagen.structures import QUERY_STRUCTURES, structure_by_name
+from ..datagen.workload import (
+    BenchmarkedQuery,
+    WorkloadBuilder,
+    WorkloadConfig,
+    build_corpus_workload,
+)
+from .executor import process_map
+from .jobs import resolve_jobs
+
+#: Queries per generated-structure task. Small enough that 21 instances
+#: x 16 structures yield far more tasks than workers (good balancing),
+#: large enough that per-task pool overhead stays negligible.
+DEFAULT_CHUNK_SIZE = 8
+
+
+@dataclass(frozen=True)
+class WorkloadChunk:
+    """One unit of parallel work: a slice of one instance's workload.
+
+    ``structure_name=None`` denotes the instance's fixed benchmark
+    suite (TPC-H 22, TPC-DS 100, JOB 113); otherwise ``indices`` are
+    query indices within the named generated-structure group.
+    """
+
+    instance_name: str
+    structure_name: Optional[str]
+    indices: Tuple[int, ...]
+    config: WorkloadConfig
+
+
+def iter_workload_chunks(instance_names: Sequence[str],
+                         config: WorkloadConfig,
+                         chunk_size: int = DEFAULT_CHUNK_SIZE
+                         ) -> Iterator[WorkloadChunk]:
+    """Chunks in serial-workload order: concatenating their results in
+    this order yields exactly ``build_corpus_workload``'s output."""
+    if chunk_size < 1:
+        chunk_size = 1
+    per_structure = config.queries_per_structure
+    n_chunks = max(1, math.ceil(per_structure / chunk_size))
+    for instance_name in instance_names:
+        for structure in QUERY_STRUCTURES:
+            for chunk in range(n_chunks):
+                lo = chunk * chunk_size
+                hi = min(lo + chunk_size, per_structure)
+                if lo >= hi:
+                    continue
+                yield WorkloadChunk(instance_name, structure.name,
+                                    tuple(range(lo, hi)), config)
+        if config.include_fixed_benchmarks:
+            yield WorkloadChunk(instance_name, None, (), config)
+
+
+def _build_chunk(chunk: WorkloadChunk) -> List[BenchmarkedQuery]:
+    """Worker entry point: benchmark one chunk in a fresh process."""
+    builder = WorkloadBuilder(get_instance(chunk.instance_name), chunk.config)
+    if chunk.structure_name is None:
+        queries = builder.fixed_benchmark_queries()
+    else:
+        structure = structure_by_name(chunk.structure_name)
+        queries = [builder.benchmark_generated(structure, index)
+                   for index in chunk.indices]
+    for query in queries:
+        query.catalog = None  # re-attached by the parent; see module doc
+    return queries
+
+
+def build_corpus_workload_parallel(instance_names: Sequence[str],
+                                   config: Optional[WorkloadConfig] = None,
+                                   jobs: Optional[int] = None,
+                                   chunk_size: int = DEFAULT_CHUNK_SIZE
+                                   ) -> List[BenchmarkedQuery]:
+    """Benchmarked workload across instances, built on a process pool.
+
+    Bit-identical to :func:`~repro.datagen.workload.build_corpus_workload`
+    on the same config — same queries, same order, same simulated times.
+    ``jobs=1`` (or a single-chunk input) runs serially in-process.
+    """
+    config = config or WorkloadConfig()
+    jobs = resolve_jobs(jobs)
+    if jobs == 1:
+        return build_corpus_workload(instance_names, config)
+    chunks = list(iter_workload_chunks(instance_names, config, chunk_size))
+    results = process_map(_build_chunk, chunks, jobs=jobs)
+    queries: List[BenchmarkedQuery] = []
+    for chunk_queries in results:
+        queries.extend(chunk_queries)
+    for query in queries:
+        if query.catalog is None:
+            query.catalog = get_instance(query.instance_name).catalog
+    return queries

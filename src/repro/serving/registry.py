@@ -17,6 +17,7 @@ interpreted" baseline does.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
@@ -46,6 +47,9 @@ class ModelEntry:
     fallback_reason: Optional[str] = None
     warmup_seconds: float = 0.0
     registered_at: float = field(default_factory=time.time)
+    #: sha256 of the source file's bytes (``load`` only); lets repeated
+    #: warmups of the same artifact dedupe instead of recompiling.
+    content_digest: Optional[str] = None
 
     @property
     def key(self) -> str:
@@ -67,6 +71,8 @@ class ModelEntry:
         }
         if self.fallback_reason:
             info["fallback_reason"] = self.fallback_reason
+        if self.content_digest:
+            info["content_digest"] = self.content_digest[:16]
         return info
 
 
@@ -81,24 +87,40 @@ class ModelRegistry:
     # -- registration -----------------------------------------------------
 
     def register(self, model: T3Model, name: str = DEFAULT_MODEL_NAME,
-                 source: str = "<memory>") -> ModelEntry:
+                 source: str = "<memory>",
+                 content_digest: Optional[str] = None) -> ModelEntry:
         """Add a model under ``name`` as the next version, warmed up."""
         backend, reason, warmup = self._warm(model)
         with self._lock:
             versions = self._versions.setdefault(name, [])
             entry = ModelEntry(name=name, version=len(versions) + 1,
                                model=model, source=source, backend=backend,
-                               fallback_reason=reason, warmup_seconds=warmup)
+                               fallback_reason=reason, warmup_seconds=warmup,
+                               content_digest=content_digest)
             versions.append(entry)
         return entry
 
     def load(self, path: Union[str, Path],
              name: Optional[str] = None) -> ModelEntry:
-        """Load a saved model JSON (``T3Model.save``) and register it."""
+        """Load a saved model JSON (``T3Model.save``) and register it.
+
+        Idempotent warmup: when the newest version under ``name``
+        already came from a file with identical bytes, that entry is
+        returned as-is — re-running a warmup script (or several
+        processes warming the same registry config) compiles each
+        distinct artifact exactly once instead of stacking duplicate
+        versions.
+        """
         path = Path(path)
+        name = name or DEFAULT_MODEL_NAME
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        with self._lock:
+            versions = self._versions.get(name, [])
+            if versions and versions[-1].content_digest == digest:
+                return versions[-1]
         model = T3Model.load(path, compile_to_native=False)
-        return self.register(model, name=name or DEFAULT_MODEL_NAME,
-                             source=str(path))
+        return self.register(model, name=name, source=str(path),
+                             content_digest=digest)
 
     def _warm(self, model: T3Model):
         """Compile (or fall back) and run one throwaway prediction."""

@@ -39,24 +39,43 @@ class BinMapper:
         return self._bounds is not None
 
     def fit(self, X: np.ndarray) -> "BinMapper":
-        """Choose bin boundaries from the quantiles of ``X`` (n_rows x n_features)."""
+        """Choose bin boundaries from the quantiles of ``X`` (n_rows x n_features).
+
+        One vectorized sort of the whole matrix replaces per-column
+        ``np.unique``/``np.quantile`` calls: distinct values fall out of
+        the sorted columns, and the quantiles of every high-cardinality
+        column are computed in a single call. Quantiles are permutation
+        invariant, so the boundaries are identical to the per-column
+        formulation.
+        """
         X = _as_matrix(X)
         n_rows, n_features = X.shape
         if n_rows == 0:
             raise TrainingError("cannot fit BinMapper on an empty dataset")
+        sorted_X = np.sort(X, axis=0)
+        changed = sorted_X[1:] != sorted_X[:-1]
+        n_distinct = changed.sum(axis=0) + 1
+        need_quantiles = n_distinct > self.max_bins
+        quantile_values = None
+        if need_quantiles.any():
+            quantiles = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+            quantile_values = np.quantile(sorted_X[:, need_quantiles],
+                                          quantiles, axis=0)
         bounds: List[np.ndarray] = []
+        quantile_column = 0
         for j in range(n_features):
-            column = X[:, j]
-            distinct = np.unique(column)
-            if distinct.size <= self.max_bins:
-                # One bin per distinct value; boundary at midpoints.
-                if distinct.size == 1:
-                    upper = np.empty(0, dtype=np.float64)
-                else:
-                    upper = (distinct[:-1] + distinct[1:]) / 2.0
+            if need_quantiles[j]:
+                upper = np.unique(quantile_values[:, quantile_column])
+                quantile_column += 1
+            elif n_distinct[j] == 1:
+                upper = np.empty(0, dtype=np.float64)
             else:
-                quantiles = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
-                upper = np.unique(np.quantile(column, quantiles))
+                # One bin per distinct value; boundary at midpoints.
+                keep = np.empty(n_rows, dtype=bool)
+                keep[0] = True
+                keep[1:] = changed[:, j]
+                distinct = sorted_X[keep, j]
+                upper = (distinct[:-1] + distinct[1:]) / 2.0
             bounds.append(np.ascontiguousarray(upper, dtype=np.float64))
         self._bounds = bounds
         self.n_features = n_features

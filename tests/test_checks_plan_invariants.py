@@ -156,7 +156,7 @@ _STAGE_FEATURES = {
 
 
 class FeatureRegistry:
-    def _basic_features(self, suffix, start, op):
+    def _basic_feature_values(self, suffix, start, op):
         if suffix == "in_percentage":
             return self.model.input_cardinality(op) / start
         if suffix == "right_percentage":

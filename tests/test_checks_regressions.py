@@ -36,7 +36,7 @@ def test_unknown_operator_stage_pair_raises_schema_error():
         stage=Stage.BUILD))
     vector = np.zeros(registry.n_features)
     with pytest.raises(SchemaError) as excinfo:
-        registry._add_stage(vector, flow, 1.0, model=None)
+        registry._fill_stage(vector, flow, 1.0, model=None)
     assert "TableScan" in str(excinfo.value)
     assert isinstance(excinfo.value, ReproError)
 

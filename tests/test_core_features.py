@@ -186,3 +186,36 @@ class TestWholePlansAndModels:
             registry.vector_for_pipeline(pipeline, exact))
         assert "TableScan_Scan_count: 1" in text
         assert "HashJoin" not in text  # zeros omitted, like the listings
+
+
+class TestMatrixDirectFeaturization:
+    """fill_matrix / fill_pipeline_row (the batch path build_dataset
+    uses) must agree exactly with the one-pipeline-at-a-time path."""
+
+    def test_fill_matrix_matches_per_pipeline_vectors(self, registry, exact,
+                                                      toy_workload):
+        for query in toy_workload[:20]:
+            pipelines = decompose_into_pipelines(query.plan)
+            out = np.zeros((len(pipelines), registry.n_features))
+            cards = np.empty(len(pipelines))
+            registry.fill_matrix(pipelines, exact, out, cards)
+            for i, pipeline in enumerate(pipelines):
+                assert np.array_equal(
+                    out[i], registry.vector_for_pipeline(pipeline, exact))
+
+    def test_fill_pipeline_row_returns_input_cardinality(self, registry,
+                                                         exact, optimizer):
+        plan = optimizer.optimize(LogicalScan("orders"))
+        pipeline = decompose_into_pipelines(plan)[0]
+        row = np.zeros(registry.n_features)
+        card = registry.fill_pipeline_row(pipeline, exact, row)
+        index = registry.index_of("TableScan_Scan_in_card")
+        assert row[index] == card > 0
+
+    def test_fill_matrix_rejects_wrong_shape(self, registry, exact,
+                                             toy_workload):
+        from repro.errors import SchemaError
+        pipelines = decompose_into_pipelines(toy_workload[0].plan)
+        bad = np.zeros((len(pipelines), registry.n_features + 1))
+        with pytest.raises(SchemaError):
+            registry.fill_matrix(pipelines, exact, bad)

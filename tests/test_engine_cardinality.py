@@ -213,3 +213,32 @@ class TestDistorted:
         with pytest.raises(CardinalityError):
             DistortedCardinalityModel(
                 ExactCardinalityModel(toy_instance.catalog), 0.5)
+
+
+class TestMemoLifetime:
+    """The memo is keyed by ``id(op)``; it must therefore keep each
+    memoized operator alive. If it did not, a discarded candidate
+    operator's id could be recycled by a later allocation and the memo
+    would serve the dead operator's cardinality for the new one — stale
+    hits whose occurrence depends on allocation history, which made
+    plans differ between processes (caught by the parallel pipeline's
+    bit-identity check)."""
+
+    def test_memo_pins_operators(self, exact, optimizer):
+        import gc
+        import weakref
+
+        plan = optimizer.optimize(LogicalScan("orders"))
+        exact.output_cardinality(plan.root)
+        ref = weakref.ref(plan.root)
+        del plan
+        gc.collect()
+        assert ref() is not None, "memoized operator must stay pinned"
+        exact.reset()
+        gc.collect()
+        assert ref() is None
+
+    def test_memo_hit_returns_same_value(self, exact, optimizer):
+        plan = optimizer.optimize(LogicalScan("orders"))
+        first = exact.output_cardinality(plan.root)
+        assert exact.output_cardinality(plan.root) == first

@@ -1,0 +1,182 @@
+"""Tests for the parallel pipeline: jobs knob, chunking, determinism,
+and the cache's exactly-one-build guarantee under process races."""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import build_dataset
+from repro.errors import ConfigurationError
+from repro.experiments.cache import DiskCache, fingerprint
+from repro.datagen.workload import WorkloadConfig, build_corpus_workload
+from repro.parallel import (
+    REPRO_JOBS_ENV,
+    build_corpus_workload_parallel,
+    iter_workload_chunks,
+    process_map,
+    resolve_jobs,
+)
+
+
+class TestResolveJobs:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(REPRO_JOBS_ENV, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(REPRO_JOBS_ENV, "5")
+        assert resolve_jobs() == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(REPRO_JOBS_ENV, raising=False)
+        import os
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(REPRO_JOBS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_jobs()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(0)
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-2)
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestProcessMap:
+    def test_preserves_order(self):
+        assert process_map(_double, range(20), jobs=4) == \
+            [2 * i for i in range(20)]
+
+    def test_serial_path(self):
+        assert process_map(_double, [3], jobs=8) == [6]
+        assert process_map(_double, [1, 2], jobs=1) == [2, 4]
+
+
+class TestChunking:
+    def test_chunks_cover_every_index_once_in_order(self):
+        config = WorkloadConfig(queries_per_structure=10,
+                                include_fixed_benchmarks=False)
+        chunks = list(iter_workload_chunks(["financial"], config,
+                                           chunk_size=3))
+        per_structure = {}
+        for chunk in chunks:
+            per_structure.setdefault(chunk.structure_name, []).extend(
+                chunk.indices)
+        for indices in per_structure.values():
+            assert indices == list(range(10))
+
+    def test_fixed_suite_chunk_toggled_by_config(self):
+        with_fixed = WorkloadConfig(queries_per_structure=2)
+        without = WorkloadConfig(queries_per_structure=2,
+                                 include_fixed_benchmarks=False)
+        fixed_chunks = [c for c in iter_workload_chunks(
+            ["tpch_sf1"], with_fixed) if c.structure_name is None]
+        assert len(fixed_chunks) == 1
+        assert not [c for c in iter_workload_chunks(
+            ["tpch_sf1"], without) if c.structure_name is None]
+
+
+class TestParallelDeterminism:
+    """ISSUE 4's core guarantee: parallel build == serial build, bitwise."""
+
+    CONFIG = WorkloadConfig(queries_per_structure=2)
+    NAMES = ["financial", "tpch_sf1"]
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return build_corpus_workload(self.NAMES, self.CONFIG)
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return build_corpus_workload_parallel(self.NAMES, self.CONFIG,
+                                              jobs=4, chunk_size=1)
+
+    def test_same_queries_same_order(self, serial, parallel):
+        assert [q.name for q in serial] == [q.name for q in parallel]
+        assert [q.group for q in serial] == [q.group for q in parallel]
+
+    def test_same_simulated_times(self, serial, parallel):
+        assert [q.median_time for q in serial] == \
+            [q.median_time for q in parallel]
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.pipeline_targets(), b.pipeline_targets())
+
+    def test_catalogs_reattached_to_shared_objects(self, serial, parallel):
+        for a, b in zip(serial, parallel):
+            assert b.catalog is a.catalog
+
+    def test_datasets_bit_identical(self, serial, parallel):
+        ds_a = build_dataset(serial)
+        ds_b = build_dataset(parallel)
+        assert np.array_equal(ds_a.X, ds_b.X)
+        assert np.array_equal(ds_a.y, ds_b.y)
+        assert np.array_equal(ds_a.input_cards, ds_b.input_cards)
+        assert np.array_equal(ds_a.query_index, ds_b.query_index)
+
+    def test_jobs_one_delegates_to_serial(self, serial):
+        built = build_corpus_workload_parallel(self.NAMES, self.CONFIG,
+                                               jobs=1)
+        assert [q.name for q in built] == [q.name for q in serial]
+
+
+def _stampede_worker(cache_dir, token_dir, barrier):
+    cache = DiskCache(cache_dir)
+
+    def build():
+        token = token_dir / f"build-{multiprocessing.current_process().pid}"
+        token.write_text("built")
+        time.sleep(0.2)  # widen the window a lost race would exploit
+        return "artifact"
+
+    barrier.wait()
+    assert cache.get_or_build("hot-key", build) == "artifact"
+
+
+class TestCacheStampede:
+    def test_concurrent_processes_build_exactly_once(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        token_dir = tmp_path / "tokens"
+        token_dir.mkdir()
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(4)
+        procs = [ctx.Process(target=_stampede_worker,
+                             args=(cache_dir, token_dir, barrier))
+                 for _ in range(4)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+        assert len(list(token_dir.iterdir())) == 1
+        assert not list(cache_dir.glob("*.tmp"))
+        assert not list(cache_dir.glob("*.corrupt-*"))
+        assert DiskCache(cache_dir).get_or_build(
+            "hot-key", lambda: "rebuilt") == "artifact"
+
+
+class TestFingerprint:
+    def test_equal_configs_fingerprint_identically(self):
+        a = WorkloadConfig(queries_per_structure=6)
+        b = WorkloadConfig(queries_per_structure=6)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_any_field_change_rekeys(self):
+        base = WorkloadConfig(queries_per_structure=6)
+        assert fingerprint(base) != \
+            fingerprint(WorkloadConfig(queries_per_structure=7))
+        assert fingerprint(base) != \
+            fingerprint(WorkloadConfig(queries_per_structure=6, seed=1))
+
+    def test_argument_boundaries_matter(self):
+        assert fingerprint("ab", "c") != fingerprint("a", "bc")
+
+    def test_dict_key_order_is_canonical(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})

@@ -388,6 +388,21 @@ class TestModelRegistry:
         assert entry.backend == "interpreted"
         assert "disabled" in entry.fallback_reason
 
+    def test_load_is_idempotent_per_artifact(self, toy_model, tmp_path):
+        """Re-loading the same file must not stack duplicate versions
+        (each re-registration would warm-compile from scratch)."""
+        path = tmp_path / "model.json"
+        toy_model.save(path)
+        registry = ModelRegistry(compile_native=False)
+        first = registry.load(path, name="m")
+        assert registry.load(path, name="m") is first
+        assert len(registry) == 1
+        # Different bytes under the same name do get a new version.
+        path.write_text(path.read_text() + "\n")
+        second = registry.load(path, name="m")
+        assert second.version == 2
+        assert second.content_digest != first.content_digest
+
 
 # ---------------------------------------------------------------------------
 # The prediction service

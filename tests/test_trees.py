@@ -287,3 +287,80 @@ def test_property_monotone_feature_monotone_prediction(n_distinct):
                                                  min_data_in_leaf=1)))
     predictions = model.predict(X)
     assert (np.diff(predictions) >= -1e-9).all()
+
+
+class TestHistogramRegression:
+    """The bincount-per-feature histogram and the single-sort BinMapper
+    must reproduce their straightforward reference formulations exactly."""
+
+    @staticmethod
+    def _reference_histogram(binned, rows, grad, hess, max_bins):
+        """The flat formulation: offset all codes into one bincount."""
+        n_features = binned.shape[1]
+        sub = binned[rows].astype(np.int64)
+        offsets = np.arange(n_features, dtype=np.int64) * max_bins
+        flat = (sub + offsets[None, :]).ravel()
+        size = n_features * max_bins
+        g = np.bincount(flat, weights=np.repeat(grad[rows], n_features),
+                        minlength=size)
+        h = np.bincount(flat, weights=np.repeat(hess[rows], n_features),
+                        minlength=size)
+        c = np.bincount(flat, minlength=size)
+        return (g.reshape(n_features, max_bins),
+                h.reshape(n_features, max_bins),
+                c.reshape(n_features, max_bins).astype(np.int64))
+
+    @pytest.mark.parametrize("max_bins", [4, 16, 255])
+    @pytest.mark.parametrize("n_rows,n_features", [(1, 1), (200, 7), (500, 3)])
+    def test_bit_identical_to_flat_formulation(self, max_bins, n_rows,
+                                               n_features):
+        rng = np.random.default_rng(max_bins * 1000 + n_rows)
+        X = rng.normal(size=(n_rows, n_features))
+        X[:, -1] = rng.integers(0, 3, size=n_rows)  # low-cardinality column
+        grad = rng.normal(size=n_rows)
+        hess = rng.uniform(0.1, 2.0, size=n_rows)
+        mapper = BinMapper(max_bins=max_bins).fit(X)
+        grower = TreeGrower(mapper.transform(X), mapper, GrowthParams())
+        for rows in (np.arange(n_rows, dtype=np.int64),
+                     np.arange(0, n_rows, 2, dtype=np.int64),
+                     np.empty(0, dtype=np.int64)):
+            hist = grower._build_histogram(rows, grad, hess)
+            ref_g, ref_h, ref_c = self._reference_histogram(
+                grower.binned, rows, grad, hess, max_bins)
+            assert np.array_equal(hist.grad, ref_g)
+            assert np.array_equal(hist.hess, ref_h)
+            assert np.array_equal(hist.count, ref_c)
+
+    @staticmethod
+    def _reference_fit_bounds(X, max_bins):
+        """The per-column formulation the single-sort fit replaced."""
+        bounds = []
+        for j in range(X.shape[1]):
+            values = np.unique(X[:, j])
+            if len(values) > max_bins:
+                quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+                upper = np.unique(np.quantile(X[:, j], quantiles))
+            elif len(values) == 1:
+                upper = np.empty(0, dtype=np.float64)
+            else:
+                upper = (values[:-1] + values[1:]) / 2.0
+            bounds.append(np.asarray(upper, dtype=np.float64))
+        return bounds
+
+    @pytest.mark.parametrize("max_bins", [2, 16, 255])
+    def test_binmapper_fit_matches_per_column_reference(self, max_bins):
+        rng = np.random.default_rng(max_bins)
+        X = np.column_stack([
+            rng.normal(size=600),                  # continuous
+            rng.integers(0, 4, size=600).astype(float),  # few distinct
+            np.full(600, 2.5),                     # constant
+            np.repeat(rng.normal(size=60), 10),    # heavy duplicates
+        ])
+        mapper = BinMapper(max_bins=max_bins).fit(X)
+        reference = self._reference_fit_bounds(X, max_bins)
+        for j, ref in enumerate(reference):
+            assert np.array_equal(mapper._bounds[j], ref)
+
+    def test_binmapper_fit_single_row(self):
+        mapper = BinMapper().fit(np.array([[1.0, 2.0]]))
+        assert mapper.n_bins(0) == 1 and mapper.n_bins(1) == 1
