@@ -31,6 +31,7 @@ from .findings import (
 )
 from .lint import check_lint
 from .plan_invariants import check_plan_invariants
+from .responsiveness import check_responsiveness
 from .sarif import render_sarif
 
 __all__ = ["ANALYZERS", "RULES", "CheckOptions", "CheckReport",
@@ -102,6 +103,10 @@ RULES: Dict[str, str] = {
     "PL003": "mutable default argument",
     "PL004": "print() in library code",
     "PL005": "unseeded numpy.random outside rng.py",
+    "RT000": "responsiveness checker could not run",
+    "RT001": "queue get() with no timeout (unbounded block)",
+    "RT002": "future result() with no timeout (unbounded block)",
+    "RT003": "thread join() with no timeout (unbounded block)",
 }
 
 
@@ -201,6 +206,7 @@ ANALYZERS: Dict[str, Tuple[str, Callable[[CheckOptions], List[Finding]]]] = {
     "ensemble": ("EA", _run_ensemble),
     "concurrency": ("LK", lambda opts: check_lock_discipline()),
     "lint": ("PL", lambda opts: check_lint()),
+    "responsiveness": ("RT", lambda opts: check_responsiveness()),
 }
 
 

@@ -1,0 +1,144 @@
+"""Responsiveness analysis: unbounded blocking calls in serving code.
+
+A serving thread that blocks forever cannot shed load, honor a
+deadline, or drain on shutdown — every availability property this
+package promises rests on *bounded* waits. This analyzer flags the
+three stdlib calls that block indefinitely unless given a timeout:
+
+=====  ==========================================================
+RT001  ``<queue>.get()`` with no timeout (and not ``block=False``)
+RT002  ``<future>.result()`` with no timeout
+RT003  ``<thread>.join()`` with no timeout
+=====  ==========================================================
+
+Receivers are identified by naming convention (the same heuristic the
+concurrency checker uses for ``join``): a ``.get()`` on something
+called ``*queue*`` is a :class:`queue.Queue`, not a dict — dict lookups
+are not blocking and stay out of scope. ``get_nowait``/``put_nowait``
+and any call carrying a ``timeout`` (positional or keyword, even
+``None``-valued expressions are accepted as "the author thought about
+it" only when literal ``None`` is *not* passed) are bounded.
+
+Scope defaults to ``src/repro/serving`` — the package whose threads
+must stay responsive. The data pipeline's pool waits are governed by
+:mod:`repro.parallel`'s own recovery ladder.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..errors import CheckError
+from .astutils import PACKAGE_ROOT, iter_py_files, repo_relative
+from .findings import Finding, Severity
+
+__all__ = ["analyze_source", "check_responsiveness"]
+
+_DEFAULT_SCOPE = (PACKAGE_ROOT / "serving",)
+
+#: Receiver-name fragments identifying each blocking receiver kind.
+_QUEUE_HINTS = ("queue",)
+_FUTURE_HINTS = ("future", "fut", "promise")
+_THREAD_HINTS = ("thread", "worker", "proc", "process")
+
+
+def _receiver_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _matches(name: Optional[str], hints: Sequence[str]) -> bool:
+    return name is not None and any(hint in name.lower()
+                                    for hint in hints)
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _has_timeout(call: ast.Call, positional_index: int) -> bool:
+    """True when the call passes a (non-``None``) timeout bound."""
+    if len(call.args) > positional_index and \
+            not _is_none(call.args[positional_index]):
+        return True
+    for keyword in call.keywords:
+        if keyword.arg == "timeout" and not _is_none(keyword.value):
+            return True
+    return False
+
+
+def _is_nonblocking_get(call: ast.Call) -> bool:
+    """``get(False)`` / ``get(block=False)`` return immediately."""
+    if call.args and isinstance(call.args[0], ast.Constant) \
+            and call.args[0].value is False:
+        return True
+    return any(keyword.arg == "block"
+               and isinstance(keyword.value, ast.Constant)
+               and keyword.value.value is False
+               for keyword in call.keywords)
+
+
+def _check_call(call: ast.Call, rel: str) -> Optional[Finding]:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = _receiver_name(func.value)
+    if func.attr == "get" and _matches(receiver, _QUEUE_HINTS):
+        # Queue.get(block=True, timeout=None): timeout is positional 1.
+        if _is_nonblocking_get(call) or _has_timeout(call, 1):
+            return None
+        return Finding(
+            "RT001", Severity.ERROR, rel, call.lineno,
+            f"{receiver}.get() blocks forever without a timeout; a "
+            f"wedged producer leaves this thread unresponsive to "
+            f"shutdown and deadlines — use get(timeout=...) in a loop")
+    if func.attr == "result" and _matches(receiver, _FUTURE_HINTS):
+        if _has_timeout(call, 0):
+            return None
+        return Finding(
+            "RT002", Severity.ERROR, rel, call.lineno,
+            f"{receiver}.result() blocks forever without a timeout; a "
+            f"lost worker leaves the caller waiting indefinitely — "
+            f"pass result(timeout=...)")
+    if func.attr == "join" and _matches(receiver, _THREAD_HINTS):
+        if isinstance(func.value, ast.Constant):
+            return None   # str.join on a literal
+        if _has_timeout(call, 0):
+            return None
+        return Finding(
+            "RT003", Severity.ERROR, rel, call.lineno,
+            f"{receiver}.join() blocks forever without a timeout; a "
+            f"hung thread turns shutdown into a hang — pass "
+            f"join(timeout=...) and handle the still-alive case")
+    return None
+
+
+def analyze_source(source: str, path: str) -> List[Finding]:
+    """Flag unbounded blocking calls in one source file."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise CheckError(f"cannot parse {path}: {exc}") from exc
+    rel = repo_relative(path) if Path(path).exists() else path
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            finding = _check_call(node, rel)
+            if finding is not None:
+                findings.append(finding)
+    return findings
+
+
+def check_responsiveness(paths: Optional[Sequence[Union[str, Path]]] = None
+                         ) -> List[Finding]:
+    """Analyze every ``.py`` file under ``paths`` (default: serving/)."""
+    findings: List[Finding] = []
+    for file_path in iter_py_files(paths or _DEFAULT_SCOPE):
+        findings.extend(analyze_source(file_path.read_text(),
+                                       str(file_path)))
+    return list(dict.fromkeys(findings))

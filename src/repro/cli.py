@@ -30,6 +30,7 @@ Example session::
 from __future__ import annotations
 
 import argparse
+import os
 import pickle
 import sys
 from pathlib import Path
@@ -135,6 +136,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="default per-request deadline in seconds")
     serve.add_argument("--no-compile", action="store_true",
                        help="force the interpreted backend")
+    serve.add_argument("--chaos", metavar="PLAN",
+                       help="deterministic fault plan: ';'-separated "
+                            "site:action[:probability[:max_fires]] specs, "
+                            "e.g. 'batcher.evaluate:raise:0.5;"
+                            "cache.read:corrupt' (default: REPRO_FAULTS "
+                            "env; sites: registry.compile, "
+                            "batcher.evaluate, cache.read, "
+                            "parallel.worker, http.handler)")
+    serve.add_argument("--chaos-seed", type=int, default=None,
+                       help="seed for fault arming and breaker jitter "
+                            "(default: REPRO_FAULTS_SEED env or the "
+                            "repo seed); same plan + seed + request "
+                            "sequence replays the same faults")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
@@ -317,6 +331,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ServingServer,
     )
 
+    from .faults import FaultPlan, install_plan
+    from .rng import DEFAULT_SEED
+
+    chaos = args.chaos or os.environ.get("REPRO_FAULTS") or None
+    seed = args.chaos_seed
+    if seed is None:
+        seed = int(os.environ.get("REPRO_FAULTS_SEED", DEFAULT_SEED))
+    if chaos:
+        # Installed before model loading so registry.compile can fire
+        # during warmup, not just on the request path.
+        plan = install_plan(FaultPlan.parse(chaos, seed=seed)).plan
+        print(f"chaos plan armed (seed {seed}): "
+              f"{'; '.join(plan.describe())}", file=sys.stderr)
+
     registry = ModelRegistry(compile_native=not args.no_compile)
     for spec in args.model:
         name, _, path = spec.rpartition("=")
@@ -332,7 +360,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_size,
         plan_cache_size=args.cache_size,
         default_timeout_s=args.timeout,
-        compile_native=not args.no_compile)
+        compile_native=not args.no_compile,
+        fault_seed=seed)
     service = PredictionService(registry, config)
     server = ServingServer(service, host=args.host, port=args.port,
                            quiet=not args.verbose)

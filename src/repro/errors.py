@@ -6,6 +6,8 @@ single base class at API boundaries.
 
 from __future__ import annotations
 
+from concurrent.futures.process import BrokenProcessPool as _BrokenProcessPool
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -66,5 +68,52 @@ class QueueFullError(ServingError):
     instead of growing an unbounded backlog."""
 
 
+class LoadShedError(QueueFullError):
+    """Raised when the load-shedding policy rejects a request because
+    the queue depth crossed the shed watermark (the queue is not yet
+    full, but accepting more work would push queued requests past
+    their deadlines)."""
+
+
 class RequestTimeoutError(ServingError):
     """Raised when a prediction request exceeds its per-request deadline."""
+
+
+class DeadlineExceeded(RequestTimeoutError):
+    """Raised when a request's deadline expired *before* evaluation:
+    the request was shed from the queue instead of being evaluated
+    late. Distinct from :class:`RequestTimeoutError` (the caller gave
+    up waiting) so clients can tell "never ran" from "ran too long"."""
+
+
+class ServiceClosedError(ServingError):
+    """Raised when a request reaches a service or batcher that has
+    been closed — including requests that were still queued when the
+    shutdown drain ran (they fail fast instead of blocking forever)."""
+
+
+class InstanceNotFoundError(ServingError, SchemaError):
+    """Raised when the serving layer cannot resolve a database
+    instance name (the serving analogue of an unknown model).
+
+    Also a :class:`SchemaError`: resolving an unknown instance name is
+    an unknown-schema reference, and pre-existing callers catch it as
+    such; new code can be precise and map it to a 404."""
+
+
+class InjectedFaultError(ReproError):
+    """Raised by the fault-injection framework at an armed site.
+
+    Never raised in production operation — only when a
+    :class:`~repro.faults.FaultPlan` is installed (chaos tests,
+    ``repro-t3 serve --chaos``). Components treat it like the real
+    failure it simulates."""
+
+
+class WorkerDeathError(_BrokenProcessPool, ReproError):
+    """A simulated worker death at the ``parallel.worker`` fault site.
+
+    Also a :class:`~concurrent.futures.process.BrokenProcessPool`: the
+    executor's recovery ladder (fresh pool with backoff, then serial)
+    catches that class, and an injected death must travel the exact
+    path a real segfault/OOM-kill takes."""

@@ -1,0 +1,184 @@
+"""Per-artifact circuit breaker: closed → open → half-open → closed.
+
+The serving degradation chain needs a memory: once a compiled artifact
+starts failing, hammering it on every request just pays the failure
+latency over and over. The breaker watches a sliding window of
+outcomes; when the failure rate crosses the threshold it *opens* —
+callers skip the protected path outright — and after an exponentially
+growing backoff it goes *half-open*, letting a few probe requests
+through. Probes all succeeding re-closes it; any probe failing
+re-opens it with a longer backoff.
+
+The backoff jitter is deterministic (:func:`repro.rng.derive_seed` over
+the breaker name and trip count), so chaos tests replay the exact
+open→half-open→closed timeline under a fixed seed. The clock is
+injectable for the same reason.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from enum import Enum
+from typing import Callable, Deque, Dict
+
+from ..errors import ConfigurationError
+from ..rng import DEFAULT_SEED, derive_rng
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(Enum):
+    """Where the breaker is in its trip cycle."""
+
+    CLOSED = "closed"          # normal operation, outcomes observed
+    OPEN = "open"              # protected path skipped until backoff ends
+    HALF_OPEN = "half_open"    # limited probes allowed through
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker with deterministic backoff.
+
+    Thread-safe; every transition decision happens under one lock.
+    ``allow()`` answers "may this call use the protected path?";
+    callers then report ``record_success()`` / ``record_failure()``.
+    """
+
+    def __init__(self, name: str,
+                 window: int = 20,
+                 min_samples: int = 5,
+                 failure_threshold: float = 0.5,
+                 backoff_base_s: float = 0.5,
+                 backoff_cap_s: float = 30.0,
+                 half_open_probes: int = 2,
+                 seed: int = DEFAULT_SEED,
+                 clock: Callable[[], float] = time.monotonic):
+        if window < 1:
+            raise ConfigurationError("breaker window must be >= 1")
+        if min_samples < 1:
+            raise ConfigurationError("breaker min_samples must be >= 1")
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ConfigurationError(
+                "breaker failure_threshold must be in (0, 1]")
+        if half_open_probes < 1:
+            raise ConfigurationError("breaker half_open_probes must be >= 1")
+        self.name = name
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self.failure_threshold = float(failure_threshold)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.half_open_probes = int(half_open_probes)
+        self.seed = seed
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=self.window)
+        self._trips = 0                  # lifetime open transitions
+        self._open_until = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    # -- decisions ---------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the caller attempt the protected path right now?"""
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                if self._clock() < self._open_until:
+                    return False
+                self._enter_half_open()
+            # HALF_OPEN: admit a bounded number of concurrent probes.
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._state = BreakerState.CLOSED
+                    self._outcomes.clear()
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._trip()
+                return
+            if self._state is BreakerState.OPEN:
+                return
+            self._outcomes.append(False)
+            if len(self._outcomes) < self.min_samples:
+                return
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if failures / len(self._outcomes) >= self.failure_threshold:
+                self._trip()
+
+    # -- transitions (lock held) -------------------------------------------
+
+    def _trip(self) -> None:
+        self._trips += 1
+        backoff = min(self.backoff_cap_s,
+                      self.backoff_base_s * (2.0 ** (self._trips - 1)))
+        # Deterministic jitter in [1.0, 1.25): spreads re-probe times
+        # across breakers without sacrificing replayability.
+        jitter = 1.0 + 0.25 * derive_rng(
+            self.seed, "breaker", self.name, self._trips).random()
+        self._state = BreakerState.OPEN
+        self._open_until = self._clock() + backoff * jitter
+        self._outcomes.clear()
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    def _enter_half_open(self) -> None:
+        self._state = BreakerState.HALF_OPEN
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            if self._state is BreakerState.OPEN and \
+                    self._clock() >= self._open_until:
+                return BreakerState.HALF_OPEN   # would transition on allow()
+            return self._state
+
+    @property
+    def trips(self) -> int:
+        with self._lock:
+            return self._trips
+
+    def snapshot(self) -> Dict[str, object]:
+        """State for health payloads and tests."""
+        with self._lock:
+            remaining = max(0.0, self._open_until - self._clock()) \
+                if self._state is BreakerState.OPEN else 0.0
+            return {
+                "name": self.name,
+                "state": self._state.value,
+                "trips": self._trips,
+                "window_failures": sum(
+                    1 for ok in self._outcomes if not ok),
+                "window_samples": len(self._outcomes),
+                "open_remaining_s": round(remaining, 6),
+            }
+
+    def reset(self) -> None:
+        """Force-close (administrative override / tests)."""
+        with self._lock:
+            self._state = BreakerState.CLOSED
+            self._outcomes.clear()
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+            self._open_until = 0.0

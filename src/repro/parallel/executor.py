@@ -1,34 +1,138 @@
-"""Order-preserving process-pool map.
+"""Order-preserving, crash-safe process-pool map.
 
-A thin wrapper over :class:`concurrent.futures.ProcessPoolExecutor`
-that (a) degrades to a plain in-process loop for ``jobs=1`` or
-single-task inputs, and (b) always returns results in task order, so
-callers that reassemble chunked work never depend on scheduling.
+A wrapper over :class:`concurrent.futures.ProcessPoolExecutor` that
+
+* degrades to a plain in-process loop for ``jobs=1`` or single-task
+  inputs,
+* always returns results in task order, so callers that reassemble
+  chunked work never depend on scheduling, and
+* survives worker death. When the pool breaks
+  (:class:`~concurrent.futures.process.BrokenProcessPool` — a worker
+  segfaulted, was OOM-killed, or hit ``os._exit``), the tasks that
+  have not produced results are retried on a **fresh** pool after a
+  capped exponential backoff; after ``max_pool_failures`` broken pools
+  the remaining tasks run serially in the parent. Because results are
+  keyed by task index and every task is a pure function of its input
+  (the repo-wide determinism contract), a run that loses workers
+  produces output bit-identical to a run that does not.
+
+Ordinary exceptions raised *by the task function* are not retried —
+they propagate to the caller exactly as the serial loop would raise
+them. Only infrastructure failure (a broken pool) triggers recovery.
+
+The ``parallel.worker`` fault site (:mod:`repro.faults`) simulates a
+worker dying mid-task. It fires in the *parent*, while collecting that
+task's result: worker processes each hold a diverged copy of the
+injector's counters, so a parent-side decision is the only one that
+replays deterministically. A fired fault marks the task for retry
+through the same recovery path a real broken pool takes.
 """
 
 from __future__ import annotations
 
+import logging
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar
 
+from ..errors import InjectedFaultError, WorkerDeathError
+from ..faults import FaultInjector, get_injector
 from .jobs import resolve_jobs
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+_LOG = logging.getLogger(__name__)
+
+#: Pool-level failures tolerated before degrading to a serial loop.
+DEFAULT_MAX_POOL_FAILURES = 3
+#: Backoff before building a replacement pool: ``base * 2**(n-1)``
+#: seconds after the n-th failure, capped.
+DEFAULT_BACKOFF_BASE_S = 0.1
+DEFAULT_BACKOFF_CAP_S = 2.0
+
 
 def process_map(fn: Callable[[_T], _R], tasks: Iterable[_T],
-                jobs: Optional[int] = None) -> List[_R]:
+                jobs: Optional[int] = None,
+                max_pool_failures: int = DEFAULT_MAX_POOL_FAILURES,
+                backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+                backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+                injector: Optional[FaultInjector] = None) -> List[_R]:
     """Apply ``fn`` to every task, fanning out over ``jobs`` processes.
 
     ``fn`` must be a module-level callable and tasks/results must be
     picklable (standard process-pool requirements). Results come back
-    in task order regardless of which worker finished first.
+    in task order regardless of which worker finished first, and
+    worker death never loses work — see the module docstring for the
+    recovery ladder (fresh pool with backoff, then serial).
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
+    injector = injector or get_injector()
     workers = min(jobs, len(tasks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, tasks))
+    results: Dict[int, _R] = {}
+    pending = list(range(len(tasks)))
+    pool_failures = 0
+    while pending and pool_failures < max_pool_failures:
+        try:
+            pending = _run_round(fn, tasks, pending, results,
+                                 workers, injector)
+        except BrokenProcessPool as exc:
+            pool_failures += 1
+            pending = [index for index in pending
+                       if index not in results]
+            _LOG.warning(
+                "process pool broke (%d/%d): %s; retrying %d task(s) "
+                "on a fresh pool", pool_failures, max_pool_failures,
+                exc, len(pending))
+            if pending and pool_failures < max_pool_failures:
+                time.sleep(min(backoff_cap_s,
+                               backoff_base_s * 2 ** (pool_failures - 1)))
+    if pending:
+        _LOG.warning("process pool broke %d times; finishing %d "
+                     "task(s) serially", pool_failures, len(pending))
+        for index in pending:
+            results[index] = fn(tasks[index])
+    return [results[index] for index in range(len(tasks))]
+
+
+def _run_round(fn: Callable[[_T], _R], tasks: List[_T],
+               pending: List[int], results: Dict[int, _R],
+               workers: int, injector: FaultInjector) -> List[int]:
+    """One pool lifetime: run ``pending`` tasks, fill ``results``.
+
+    Returns the (empty) list of unfinished indices on a clean round.
+    Raises :class:`BrokenProcessPool` when the pool dies — really or
+    via an injected ``parallel.worker`` fault; ``results`` keeps
+    everything collected before the crash, so the caller retries only
+    the remainder.
+    """
+    faulted: List[int] = []
+    with ProcessPoolExecutor(max_workers=min(workers,
+                                             len(pending))) as pool:
+        futures: Dict[Future, int] = {
+            pool.submit(fn, tasks[index]): index for index in pending}
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done,
+                                  return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                value = future.result()   # raises BrokenProcessPool
+                try:
+                    injector.fire("parallel.worker")
+                except InjectedFaultError:
+                    # Simulated worker death: drop the result and send
+                    # the task through the retry path.
+                    faulted.append(index)
+                    continue
+                results[index] = value
+    if faulted:
+        raise WorkerDeathError(
+            f"{len(faulted)} worker(s) killed by injected fault at "
+            "parallel.worker")
+    return []

@@ -10,7 +10,9 @@ long-running service (ROADMAP: "serve heavy traffic"):
 * :mod:`~repro.serving.batching` — micro-batching queue with bounded
   admission and per-request deadlines,
 * :mod:`~repro.serving.service` — the staged request path tying the
-  above together,
+  above together, degrading compiled → interpreted → analytic behind
+  per-model circuit breakers (:mod:`repro.faults`),
+* :mod:`~repro.serving.fallback` — the analytic last-resort estimate,
 * :mod:`~repro.serving.http` — stdlib HTTP endpoints
   (``/predict``, ``/metrics``, ``/healthz``),
 * :mod:`~repro.serving.telemetry` — counters / gauges / histograms
@@ -28,12 +30,14 @@ Quick start::
 
 from .batching import BatcherStats, MicroBatcher
 from .cache import CacheStats, LRUCache, normalize_sql
+from .fallback import AnalyticBaseline
 from .registry import DEFAULT_MODEL_NAME, ModelEntry, ModelRegistry
 from .service import PredictionResult, PredictionService, ServingConfig
 from .http import ServingServer, error_response
 from .telemetry import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
+    "AnalyticBaseline",
     "BatcherStats",
     "CacheStats",
     "Counter",

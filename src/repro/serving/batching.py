@@ -11,10 +11,19 @@ queue — waiting at most ``max_wait_s`` to coalesce up to
 waiting callers.
 
 Admission control is part of the contract: the queue is bounded
-(:class:`~repro.errors.QueueFullError` when full) and every request
-carries a deadline (:class:`~repro.errors.RequestTimeoutError`), so an
-overloaded service sheds load with typed errors instead of building an
-unbounded backlog.
+(:class:`~repro.errors.QueueFullError` when full, and
+:class:`~repro.errors.LoadShedError` already at the shed watermark)
+and every request carries a deadline — one that expires while still
+queued is shed with :class:`~repro.errors.DeadlineExceeded` instead of
+being evaluated late — so an overloaded service degrades with typed
+errors instead of building an unbounded backlog.
+
+The worker never blocks unboundedly: its idle wait is a short timed
+``get`` re-checking the closed flag (checks rule RT001), and
+:meth:`MicroBatcher.close` *drains* the queue — any request the worker
+could not answer fails fast with
+:class:`~repro.errors.ServiceClosedError` rather than leaving its
+caller blocked past the close timeout.
 """
 
 from __future__ import annotations
@@ -31,10 +40,13 @@ import numpy as np
 
 from ..errors import (
     ConfigurationError,
+    DeadlineExceeded,
+    LoadShedError,
     QueueFullError,
     RequestTimeoutError,
-    ServingError,
+    ServiceClosedError,
 )
+from ..faults import FaultInjector, get_injector
 from .telemetry import MetricsRegistry
 
 __all__ = ["BatcherStats", "MicroBatcher"]
@@ -43,6 +55,10 @@ _SHUTDOWN = object()
 
 #: Batch-size histogram buckets (rows coalesced per native call).
 _BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Idle wait per worker loop; bounds how long the worker can block
+#: without noticing the closed flag.
+_IDLE_TICK_S = 0.1
 
 
 @dataclass
@@ -61,6 +77,9 @@ class BatcherStats:
     rows: int = 0
     rejected: int = 0
     timeouts: int = 0
+    shed: int = 0          # watermark load-shedding rejections
+    expired: int = 0       # deadline passed while queued (never evaluated)
+    drained: int = 0       # failed with ServiceClosedError at close()
 
     @property
     def mean_batch_rows(self) -> float:
@@ -79,17 +98,25 @@ class MicroBatcher:
                  max_batch_rows: int = 256,
                  max_wait_s: float = 0.002,
                  queue_capacity: int = 512,
+                 shed_watermark: Optional[int] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 name: str = "default"):
+                 name: str = "default",
+                 injector: Optional[FaultInjector] = None):
         if max_batch_rows < 1:
             raise ConfigurationError("max_batch_rows must be >= 1")
         if queue_capacity < 1:
             raise ConfigurationError("queue_capacity must be >= 1")
+        if shed_watermark is not None and \
+                not 1 <= shed_watermark <= queue_capacity:
+            raise ConfigurationError(
+                "shed_watermark must be in [1, queue_capacity]")
         self._predict_batch = predict_batch
         self.max_batch_rows = int(max_batch_rows)
         self.max_wait_s = float(max_wait_s)
         self.queue_capacity = int(queue_capacity)
+        self.shed_watermark = shed_watermark
         self.name = name
+        self._injector = injector or get_injector()
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_capacity)
         self._stats = BatcherStats()
         self._stats_lock = threading.Lock()
@@ -114,12 +141,21 @@ class MicroBatcher:
             self._m_timeouts = metrics.counter(
                 "t3_serving_timeouts_total",
                 "requests that exceeded their deadline")
+            self._m_shed = metrics.counter(
+                "t3_serving_shed_total",
+                "requests shed by the watermark load-shedding policy")
+            self._m_expired = metrics.counter(
+                "t3_serving_deadline_expired_total",
+                "queued requests shed because their deadline passed "
+                "before evaluation")
             self._m_batches = metrics.counter(
                 "t3_serving_batches_total", "native batch calls issued")
         else:
             self._m_batch_rows = None
             self._m_rejected = None
             self._m_timeouts = None
+            self._m_shed = None
+            self._m_expired = None
             self._m_batches = None
 
     # -- lifecycle --------------------------------------------------------
@@ -135,24 +171,63 @@ class MicroBatcher:
         return self
 
     def close(self, timeout: float = 5.0) -> None:
-        """Stop the worker; queued requests still get answered."""
+        """Stop the worker; queued requests get answered or *failed*.
+
+        The worker drains the queue up to the shutdown sentinel, so
+        requests enqueued before ``close()`` normally still get
+        results. If the worker is wedged (or already dead) and the
+        join times out, the queue is drained here and every pending
+        request fails with :class:`~repro.errors.ServiceClosedError`
+        — callers never block past the close timeout.
+        """
         if self._closed.is_set():
             return
         self._closed.set()
         with self._lifecycle_lock:
             worker = self._worker
         if self._started.is_set():
-            self._queue.put(_SHUTDOWN)
+            try:
+                self._queue.put_nowait(_SHUTDOWN)
+            except queue.Full:
+                pass  # the drain below fails the backlog
             if worker is not None:
                 worker.join(timeout)
+        self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        """Fail every request still queued with a typed error."""
+        drained = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            _try_set_exception(item.future, ServiceClosedError(
+                f"batcher {self.name!r} closed before the request "
+                "was evaluated"))
+            drained += 1
+        if drained:
+            with self._stats_lock:
+                self._stats.drained += drained
 
     # -- submission -------------------------------------------------------
 
     def submit_async(self, vectors: np.ndarray,
-                     timeout: Optional[float] = None) -> "Future[np.ndarray]":
-        """Enqueue a feature matrix; the future resolves to raw scores."""
+                     timeout: Optional[float] = None,
+                     deadline: Optional[float] = None
+                     ) -> "Future[np.ndarray]":
+        """Enqueue a feature matrix; the future resolves to raw scores.
+
+        ``deadline`` is an absolute :func:`time.monotonic` instant and
+        wins over ``timeout`` (a relative window from now); it travels
+        with the request so a queued entry whose deadline passes is
+        shed (:class:`~repro.errors.DeadlineExceeded`) instead of
+        evaluated late.
+        """
         if self._closed.is_set():
-            raise ServingError("batcher is closed")
+            raise ServiceClosedError(f"batcher {self.name!r} is closed")
         if not self._started.is_set():
             self.start()
         vectors = np.ascontiguousarray(vectors, dtype=np.float64)
@@ -162,7 +237,23 @@ class MicroBatcher:
         if vectors.shape[0] == 0:
             future.set_result(np.empty(0, dtype=np.float64))
             return future
-        deadline = (time.monotonic() + timeout) if timeout else None
+        if deadline is None:
+            deadline = (time.monotonic() + timeout) if timeout else None
+        if deadline is not None and time.monotonic() >= deadline:
+            # Already expired: shed before consuming queue capacity.
+            self._note_expired()
+            raise DeadlineExceeded(
+                "request deadline expired before it could be enqueued")
+        if self.shed_watermark is not None and \
+                self._queue.qsize() >= self.shed_watermark:
+            with self._stats_lock:
+                self._stats.shed += 1
+            if self._m_shed is not None:
+                self._m_shed.inc()
+            raise LoadShedError(
+                f"prediction queue depth crossed the shed watermark "
+                f"({self.shed_watermark}/{self.queue_capacity}); "
+                "load shed to protect queued deadlines")
         request = _Request(vectors, future, deadline)
         try:
             self._queue.put_nowait(request)
@@ -179,9 +270,12 @@ class MicroBatcher:
         return future
 
     def submit(self, vectors: np.ndarray,
-               timeout: Optional[float] = None) -> np.ndarray:
+               timeout: Optional[float] = None,
+               deadline: Optional[float] = None) -> np.ndarray:
         """Blocking :meth:`submit_async`; raises the typed errors."""
-        future = self.submit_async(vectors, timeout)
+        future = self.submit_async(vectors, timeout, deadline)
+        if deadline is not None:
+            timeout = max(0.0, deadline - time.monotonic())
         try:
             return future.result(timeout)
         except FutureTimeoutError:
@@ -191,7 +285,14 @@ class MicroBatcher:
             if self._m_timeouts is not None:
                 self._m_timeouts.inc()
             raise RequestTimeoutError(
-                f"prediction did not complete within {timeout:.3f}s") from None
+                f"prediction did not complete within "
+                f"{(timeout or 0.0):.3f}s") from None
+
+    def _note_expired(self) -> None:
+        with self._stats_lock:
+            self._stats.expired += 1
+        if self._m_expired is not None:
+            self._m_expired.inc()
 
     # -- introspection ----------------------------------------------------
 
@@ -203,13 +304,21 @@ class MicroBatcher:
         with self._stats_lock:
             return BatcherStats(self._stats.requests, self._stats.batches,
                                 self._stats.rows, self._stats.rejected,
-                                self._stats.timeouts)
+                                self._stats.timeouts, self._stats.shed,
+                                self._stats.expired, self._stats.drained)
 
     # -- worker -----------------------------------------------------------
 
     def _run(self) -> None:
         while True:
-            item = self._queue.get()
+            try:
+                # Bounded wait (RT001): re-check the closed flag every
+                # tick so a lost shutdown sentinel cannot wedge us.
+                item = self._queue.get(timeout=_IDLE_TICK_S)
+            except queue.Empty:
+                if self._closed.is_set():
+                    return
+                continue
             if item is _SHUTDOWN:
                 return
             batch: List[_Request] = [item]
@@ -240,8 +349,12 @@ class MicroBatcher:
             if request.future.cancelled():
                 continue
             if request.deadline is not None and now > request.deadline:
-                _try_set_exception(request.future, RequestTimeoutError(
-                    "request expired while waiting in the batch queue"))
+                # Shed, never evaluated late: typed so callers can tell
+                # "never ran" from "ran too long".
+                self._note_expired()
+                _try_set_exception(request.future, DeadlineExceeded(
+                    "request deadline expired while waiting in the "
+                    "batch queue; shed without evaluation"))
                 continue
             live.append(request)
         if not live:
@@ -249,7 +362,11 @@ class MicroBatcher:
         stacked = (live[0].vectors if len(live) == 1
                    else np.vstack([r.vectors for r in live]))
         try:
+            self._injector.fire("batcher.evaluate")
             raw = np.asarray(self._predict_batch(stacked), dtype=np.float64)
+            raw = self._injector.corrupt(
+                "batcher.evaluate", raw,
+                lambda values: np.full_like(values, np.nan))
         except Exception as exc:  # propagate to every waiter
             for request in live:
                 _try_set_exception(request.future, exc)

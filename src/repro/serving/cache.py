@@ -116,6 +116,36 @@ class LRUCache:
             callback()
         return value
 
+    def get_checked(self, key: Hashable,
+                    validator: Callable[[Any], bool],
+                    default: Any = None) -> Any:
+        """A :meth:`get` that self-heals: entries failing ``validator``
+        are dropped and reported as a miss (plus an eviction), so one
+        corrupt value costs a rebuild instead of poisoning every
+        subsequent hit."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING and not validator(value):
+                del self._entries[key]
+                self.stats.evictions += 1
+                evict_callback = self._on_evict
+                value = _MISSING
+            else:
+                evict_callback = None
+            if value is _MISSING:
+                self.stats.misses += 1
+                callback = self._on_miss
+                value = default
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                callback = self._on_hit
+        if evict_callback is not None:
+            evict_callback()
+        if callback is not None:
+            callback()
+        return value
+
     def put(self, key: Hashable, value: Any) -> None:
         evicted = 0
         with self._lock:

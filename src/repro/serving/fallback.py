@@ -1,0 +1,66 @@
+"""The last rung of the degradation chain: an analytic baseline.
+
+When both tree backends are unavailable — compiled artifact tripped
+its breaker *and* the interpreted ensemble raised — the service still
+answers, with a C_out-style analytic estimate (Cluet & Moerkotte via
+:mod:`repro.baselines.cout`): cost proportional to the tuples each
+pipeline touches. Kleerekoper et al. ("Can the Optimizer Cost be Used
+to Predict Query Execution Times?") make the operative argument: even
+a crude-but-available cost signal beats no signal, so a degraded
+estimate is strictly better than an error on the optimizer hot path.
+
+The estimate is deliberately simple: ``per_pipeline_s`` fixed overhead
+plus ``per_tuple_s`` per input tuple, clamped to a finite range. It is
+wrong in absolute terms and proudly so — results carry
+``fallback="analytic"`` provenance so callers can weigh them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["AnalyticBaseline"]
+
+#: Ceiling on any analytic estimate (seconds); nothing the corpus
+#: executes takes longer, and the clamp guarantees finiteness.
+_MAX_SECONDS = 1.0e6
+
+
+class AnalyticBaseline:
+    """Cardinality-proportional execution-time estimate.
+
+    ``per_tuple_s`` defaults to 100 ns — the order of a simple
+    operator's per-tuple cost in the simulator's cost tables — and
+    ``per_pipeline_s`` covers fixed pipeline startup.
+    """
+
+    name = "analytic"
+
+    def __init__(self, per_tuple_s: float = 1.0e-7,
+                 per_pipeline_s: float = 1.0e-4):
+        self.per_tuple_s = float(per_tuple_s)
+        self.per_pipeline_s = float(per_pipeline_s)
+
+    def pipeline_times(self, vectors: np.ndarray,
+                       cards: Optional[np.ndarray]) -> np.ndarray:
+        """Finite per-pipeline time estimates.
+
+        ``cards`` is the per-pipeline input cardinality vector the
+        featurizer produced; ``None`` (per-query models) falls back to
+        a row-count-only estimate over ``vectors``.
+        """
+        if cards is None:
+            n = max(1, int(np.asarray(vectors).shape[0]))
+            times = np.full(n, self.per_pipeline_s, dtype=np.float64)
+        else:
+            tuples = np.maximum(np.nan_to_num(
+                np.asarray(cards, dtype=np.float64),
+                nan=1.0, posinf=_MAX_SECONDS, neginf=1.0), 1.0)
+            times = self.per_pipeline_s + self.per_tuple_s * tuples
+        return np.clip(times, 0.0, _MAX_SECONDS)
+
+    def total_time(self, vectors: np.ndarray,
+                   cards: Optional[np.ndarray]) -> float:
+        return float(self.pipeline_times(vectors, cards).sum())

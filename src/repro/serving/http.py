@@ -12,12 +12,20 @@ prediction sidecar:
 * ``GET /healthz`` — liveness + registered models + cache stats.
 
 Typed service errors map to meaningful status codes so clients can
-distinguish overload (429, retryable) from bad requests (400, not):
+distinguish overload (429/503/504, retryable) from bad requests
+(400/404/413, not). Every error — including injected chaos faults and
+internal bugs — is answered with a JSON envelope ``{"error": code,
+"message": ...}``; a traceback never reaches the wire:
 
 =============================================  ====
+:class:`~repro.errors.LoadShedError`           429
 :class:`~repro.errors.QueueFullError`          429
+:class:`~repro.errors.DeadlineExceeded`        504
 :class:`~repro.errors.RequestTimeoutError`     504
 :class:`~repro.errors.ModelNotFoundError`      404
+:class:`~repro.errors.InstanceNotFoundError`   404
+:class:`~repro.errors.ServiceClosedError`      503
+:class:`~repro.errors.InjectedFaultError`      503
 any other :class:`~repro.errors.ReproError`    400
 anything else                                  500
 =============================================  ====
@@ -26,31 +34,49 @@ anything else                                  500
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from ..errors import (
+    DeadlineExceeded,
+    InjectedFaultError,
+    InstanceNotFoundError,
+    LoadShedError,
     ModelNotFoundError,
     QueueFullError,
     ReproError,
     RequestTimeoutError,
+    ServiceClosedError,
 )
 from .service import PredictionService
 
 __all__ = ["ServingServer", "error_response"]
+
+_LOG = logging.getLogger(__name__)
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB of SQL is a client bug, not a query
 
 
 def error_response(exc: Exception) -> Tuple[int, str]:
     """Map an exception to ``(http_status, machine-readable code)``."""
+    if isinstance(exc, LoadShedError):
+        return 429, "load_shed"
     if isinstance(exc, QueueFullError):
         return 429, "queue_full"
+    if isinstance(exc, DeadlineExceeded):
+        return 504, "deadline_exceeded"
     if isinstance(exc, RequestTimeoutError):
         return 504, "timeout"
     if isinstance(exc, ModelNotFoundError):
         return 404, "model_not_found"
+    if isinstance(exc, InstanceNotFoundError):
+        return 404, "instance_not_found"
+    if isinstance(exc, ServiceClosedError):
+        return 503, "service_closed"
+    if isinstance(exc, InjectedFaultError):
+        return 503, "injected_fault"
     if isinstance(exc, ReproError):
         return 400, "bad_request"
     return 500, "internal_error"
@@ -93,27 +119,53 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints --------------------------------------------------------
 
     def do_GET(self):  # noqa: N802
-        if self.path == "/metrics":
-            self._send_text(200, self.service.metrics_text())
-        elif self.path == "/healthz":
-            self._send_json(200, self.service.health())
-        else:
-            self._send_error_json(404, "not_found",
-                                  f"no such endpoint: {self.path}")
+        try:
+            if self.path == "/metrics":
+                self._send_text(200, self.service.metrics_text())
+            elif self.path == "/healthz":
+                self._send_json(200, self.service.health())
+            else:
+                self._send_error_json(404, "not_found",
+                                      f"no such endpoint: {self.path}")
+        except Exception as exc:   # JSON envelope, never a traceback
+            self._fail(exc)
 
     def do_POST(self):  # noqa: N802
+        try:
+            self._handle_predict()
+        except Exception as exc:   # JSON envelope, never a traceback
+            self._fail(exc)
+
+    def _fail(self, exc: Exception) -> None:
+        status, code = error_response(exc)
+        if status >= 500:
+            _LOG.warning("request failed (%s): %s", code, exc)
+        try:
+            self._send_error_json(status, code, str(exc))
+        except OSError:
+            pass   # client hung up; nothing left to answer
+
+    def _handle_predict(self) -> None:
         if self.path != "/predict":
             self._send_error_json(404, "not_found",
                                   f"no such endpoint: {self.path}")
             return
+        # The handler-level fault site fires before any parsing, as if
+        # the front end itself hiccuped; it surfaces as a 503 envelope.
+        self.service.injector.fire("http.handler")
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             length = 0
-        if length <= 0 or length > _MAX_BODY_BYTES:
+        if length > _MAX_BODY_BYTES:
+            self._send_error_json(
+                413, "payload_too_large",
+                f"request body is {length} bytes; "
+                f"at most {_MAX_BODY_BYTES} accepted")
+            return
+        if length <= 0:
             self._send_error_json(400, "bad_request",
-                                  "request body required (JSON), "
-                                  f"at most {_MAX_BODY_BYTES} bytes")
+                                  "request body required (JSON)")
             return
         try:
             request = json.loads(self.rfile.read(length).decode("utf-8"))

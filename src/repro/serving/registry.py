@@ -26,8 +26,9 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ..errors import ModelNotFoundError
+from ..errors import InjectedFaultError, ModelNotFoundError
 from ..core.model import PredictionBackend, T3Model
+from ..faults import FaultInjector, get_injector
 from ..treecomp.compiler import find_c_compiler
 
 __all__ = ["DEFAULT_MODEL_NAME", "ModelEntry", "ModelRegistry"]
@@ -79,10 +80,12 @@ class ModelEntry:
 class ModelRegistry:
     """Thread-safe, versioned collection of serveable models."""
 
-    def __init__(self, compile_native: bool = True):
+    def __init__(self, compile_native: bool = True,
+                 injector: Optional[FaultInjector] = None):
         self.compile_native = compile_native
         self._versions: Dict[str, List[ModelEntry]] = {}
         self._lock = threading.Lock()
+        self._injector = injector or get_injector()
 
     # -- registration -----------------------------------------------------
 
@@ -123,17 +126,30 @@ class ModelRegistry:
                              content_digest=digest)
 
     def _warm(self, model: T3Model):
-        """Compile (or fall back) and run one throwaway prediction."""
+        """Compile (or fall back) and run one throwaway prediction.
+
+        A compile failure — real or injected at the
+        ``registry.compile`` fault site — degrades the entry to the
+        interpreted backend with the reason recorded; registration
+        itself never fails on compilation.
+        """
         start = time.perf_counter()
         backend, reason = "interpreted", None
         if not self.compile_native:
             reason = "native compilation disabled"
         elif find_c_compiler() is None:
             reason = "no C compiler found (looked for cc/gcc/clang)"
-        elif model.compile():
-            backend = "compiled"
         else:
-            reason = "compilation failed"
+            try:
+                self._injector.fire("registry.compile")
+                compiled = model.compile()
+            except InjectedFaultError as exc:
+                compiled = False
+                reason = str(exc)
+            if compiled:
+                backend = "compiled"
+            elif reason is None:
+                reason = "compilation failed"
         if backend == "interpreted":
             model.use_backend(PredictionBackend.INTERPRETED)
         probe = np.zeros((1, model.booster.n_features), dtype=np.float64)

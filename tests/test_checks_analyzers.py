@@ -143,7 +143,7 @@ def test_run_checks_repo_is_clean():
     assert report.exit_code == 0
     assert set(report.analyzers_run) == {
         "codegen", "feature-schema", "plan-invariants", "ensemble",
-        "concurrency", "lint"}
+        "concurrency", "lint", "responsiveness"}
     assert set(report.timings) == set(report.analyzers_run)
     assert all(seconds >= 0.0 for seconds in report.timings.values())
 

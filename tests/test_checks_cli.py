@@ -7,7 +7,7 @@ import json
 from repro.cli import main
 
 _ALL_ANALYZERS = {"codegen", "feature-schema", "plan-invariants",
-                  "ensemble", "concurrency", "lint"}
+                  "ensemble", "concurrency", "lint", "responsiveness"}
 
 
 def _stale_model(tmp_path):

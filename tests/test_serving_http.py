@@ -155,10 +155,12 @@ class TestHTTPEndpoints:
         assert excinfo.value.code == 400
         assert json.loads(excinfo.value.read())["error"] == "bad_request"
 
-    def test_unknown_instance_400(self, server):
+    def test_unknown_instance_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _post(server, {"sql": SQL, "instance": "missing"})
-        assert excinfo.value.code == 400
+        assert excinfo.value.code == 404
+        assert json.loads(
+            excinfo.value.read())["error"] == "instance_not_found"
 
     def test_unknown_model_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
