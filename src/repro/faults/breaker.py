@@ -108,6 +108,21 @@ class CircuitBreaker:
                 return
             self._outcomes.append(True)
 
+    def record_aborted(self) -> None:
+        """Release a probe slot without counting an outcome.
+
+        For attempts that ``allow()`` admitted but that never reached
+        the protected artifact — shed on overload, expired deadline,
+        shutdown. The half-open probe slot must be returned (or two
+        aborted probes would wedge the breaker in HALF_OPEN with
+        ``allow()`` forever False), but a non-attempt says nothing
+        about the artifact, so neither the failure window nor the
+        probe tally moves.
+        """
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+
     def record_failure(self) -> None:
         with self._lock:
             if self._state is BreakerState.HALF_OPEN:

@@ -32,8 +32,7 @@ from __future__ import annotations
 
 import logging
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, wait
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, Iterable, List, Optional, TypeVar
 
@@ -114,23 +113,22 @@ def _run_round(fn: Callable[[_T], _R], tasks: List[_T],
     faulted: List[int] = []
     with ProcessPoolExecutor(max_workers=min(workers,
                                              len(pending))) as pool:
-        futures: Dict[Future, int] = {
-            pool.submit(fn, tasks[index]): index for index in pending}
-        not_done = set(futures)
-        while not_done:
-            done, not_done = wait(not_done,
-                                  return_when=FIRST_COMPLETED)
-            for future in done:
-                index = futures[future]
-                value = future.result()   # raises BrokenProcessPool
-                try:
-                    injector.fire("parallel.worker")
-                except InjectedFaultError:
-                    # Simulated worker death: drop the result and send
-                    # the task through the retry path.
-                    faulted.append(index)
-                    continue
-                results[index] = value
+        futures: Dict[int, Future] = {
+            index: pool.submit(fn, tasks[index]) for index in pending}
+        # Collect strictly in task-index order, not completion order:
+        # the injector's invocation-count draws must hit the same task
+        # every run, so chaos replay stays bit-identical — fault
+        # sequence and fire counts included, not just final outputs.
+        for index in pending:
+            value = futures[index].result()  # raises BrokenProcessPool
+            try:
+                injector.fire("parallel.worker")
+            except InjectedFaultError:
+                # Simulated worker death: drop the result and send
+                # the task through the retry path.
+                faulted.append(index)
+                continue
+            results[index] = value
     if faulted:
         raise WorkerDeathError(
             f"{len(faulted)} worker(s) killed by injected fault at "

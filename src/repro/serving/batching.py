@@ -60,6 +60,11 @@ _BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 #: without noticing the closed flag.
 _IDLE_TICK_S = 0.1
 
+#: Upper bound on a deadline-less blocking :meth:`MicroBatcher.submit`
+#: (RT002: never wait on a future unboundedly — a wedged worker must
+#: surface as a typed timeout, not a hang).
+_DEFAULT_RESULT_WAIT_S = 60.0
+
 
 @dataclass
 class _Request:
@@ -237,8 +242,8 @@ class MicroBatcher:
         if vectors.shape[0] == 0:
             future.set_result(np.empty(0, dtype=np.float64))
             return future
-        if deadline is None:
-            deadline = (time.monotonic() + timeout) if timeout else None
+        if deadline is None and timeout is not None:
+            deadline = time.monotonic() + timeout
         if deadline is not None and time.monotonic() >= deadline:
             # Already expired: shed before consuming queue capacity.
             self._note_expired()
@@ -267,6 +272,12 @@ class MicroBatcher:
                 "retry later or raise queue_capacity") from None
         with self._stats_lock:
             self._stats.requests += 1
+        if self._closed.is_set():
+            # close() can complete between the entry check and the
+            # put: its drain already ran, the worker is gone, and this
+            # request would sit in the queue forever. Drain again so
+            # it fails typed instead of stranding its caller.
+            self._drain_pending()
         return future
 
     def submit(self, vectors: np.ndarray,
@@ -276,6 +287,8 @@ class MicroBatcher:
         future = self.submit_async(vectors, timeout, deadline)
         if deadline is not None:
             timeout = max(0.0, deadline - time.monotonic())
+        elif timeout is None:
+            timeout = _DEFAULT_RESULT_WAIT_S
         try:
             return future.result(timeout)
         except FutureTimeoutError:

@@ -97,6 +97,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # The stdlib closes silently; announce it so clients do
+            # not pipeline a request into a dying connection.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -131,12 +135,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._fail(exc)
 
     def do_POST(self):  # noqa: N802
+        self._body_consumed = False
         try:
             self._handle_predict()
         except Exception as exc:   # JSON envelope, never a traceback
             self._fail(exc)
 
     def _fail(self, exc: Exception) -> None:
+        # HTTP/1.1 keep-alive: if this request's body was never read,
+        # its bytes are still on the socket and would be parsed as the
+        # next request line. Close instead of desyncing the stream.
+        if not getattr(self, "_body_consumed", True):
+            self.close_connection = True
         status, code = error_response(exc)
         if status >= 500:
             _LOG.warning("request failed (%s): %s", code, exc)
@@ -145,10 +155,20 @@ class _Handler(BaseHTTPRequestHandler):
         except OSError:
             pass   # client hung up; nothing left to answer
 
+    def _refuse(self, status: int, code: str, message: str) -> None:
+        """Error response sent *before* reading the request body.
+
+        The unread body bytes are still on the socket; a keep-alive
+        connection would parse them as the next request line, so the
+        connection must close with the response.
+        """
+        self.close_connection = True
+        self._send_error_json(status, code, message)
+
     def _handle_predict(self) -> None:
         if self.path != "/predict":
-            self._send_error_json(404, "not_found",
-                                  f"no such endpoint: {self.path}")
+            self._refuse(404, "not_found",
+                         f"no such endpoint: {self.path}")
             return
         # The handler-level fault site fires before any parsing, as if
         # the front end itself hiccuped; it surfaces as a 503 envelope.
@@ -158,17 +178,19 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             length = 0
         if length > _MAX_BODY_BYTES:
-            self._send_error_json(
+            self._refuse(
                 413, "payload_too_large",
                 f"request body is {length} bytes; "
                 f"at most {_MAX_BODY_BYTES} accepted")
             return
         if length <= 0:
-            self._send_error_json(400, "bad_request",
-                                  "request body required (JSON)")
+            self._refuse(400, "bad_request",
+                         "request body required (JSON)")
             return
+        raw_body = self.rfile.read(length)
+        self._body_consumed = True
         try:
-            request = json.loads(self.rfile.read(length).decode("utf-8"))
+            request = json.loads(raw_body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self._send_error_json(400, "invalid_json", str(exc))
             return

@@ -422,10 +422,12 @@ class PredictionService:
                 if not np.all(np.isfinite(raw)):
                     raise ServingError(
                         "backend returned non-finite predictions")
-            except (QueueFullError, RequestTimeoutError):
-                # Overload, not artifact failure: shed to the caller.
-                raise
-            except ServiceClosedError:
+            except (QueueFullError, RequestTimeoutError,
+                    ServiceClosedError):
+                # Overload or shutdown, not artifact failure: shed to
+                # the caller, returning the half-open probe slot
+                # allow() may have taken so the breaker cannot wedge.
+                breaker.record_aborted()
                 raise
             except Exception as exc:
                 breaker.record_failure()
@@ -473,7 +475,9 @@ class PredictionService:
             return deadline
         window = (timeout if timeout is not None
                   else self.config.default_timeout_s)
-        return (time.monotonic() + window) if window else None
+        # `is not None`, not truthiness: timeout=0 means "already due"
+        # (an immediately-expiring deadline), not "wait forever".
+        return (time.monotonic() + window) if window is not None else None
 
     @staticmethod
     def _check_deadline(deadline: Optional[float]) -> None:

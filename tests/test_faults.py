@@ -20,6 +20,7 @@ from repro.errors import (
     DeadlineExceeded,
     InjectedFaultError,
     LoadShedError,
+    RequestTimeoutError,
     ServiceClosedError,
 )
 from repro.core.model import PredictionBackend, T3Config, T3Model
@@ -289,6 +290,33 @@ class TestCircuitBreaker:
         assert breaker.state is BreakerState.CLOSED
         assert breaker.allow()
 
+    def test_aborted_probes_release_their_slots(self):
+        # Regression: a probe shed on overload (queue full, deadline)
+        # must return its half-open slot. Leaking both slots would pin
+        # allow() at False forever with no probe left to transition.
+        clock = _FakeClock()
+        breaker = _breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.now = 2.0
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()            # both slots taken
+        breaker.record_aborted()
+        breaker.record_aborted()
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()                # slots released, not leaked
+        breaker.record_success()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_aborted_is_noop_when_closed(self):
+        breaker = _breaker(_FakeClock())
+        breaker.record_aborted()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
     def test_probe_failure_reopens_with_longer_backoff(self):
         clock = _FakeClock()
         breaker = _breaker(clock)
@@ -482,6 +510,49 @@ class TestBatcherRobustness:
     def test_watermark_validated(self):
         with pytest.raises(ConfigurationError):
             MicroBatcher(_echo_rows, queue_capacity=4, shed_watermark=9)
+
+    def test_submit_racing_close_fails_typed(self):
+        # Regression: a submitter that passes the closed check just
+        # before close() runs must not strand its request in a
+        # worker-less queue — the post-put re-check drains it.
+        batcher = MicroBatcher(_echo_rows).start()
+        real_put = batcher._queue.put_nowait
+
+        def racing_put(item):
+            batcher.close(timeout=5.0)   # lands between check and put
+            real_put(item)
+
+        batcher._queue.put_nowait = racing_put
+        future = batcher.submit_async(np.ones((1, 2)))
+        assert isinstance(future.exception(timeout=10), ServiceClosedError)
+
+    def test_submit_without_deadline_is_bounded(self):
+        # Regression: timeout=None must not become an unbounded
+        # future.result(None) — a wedged worker surfaces as a typed
+        # timeout (RT002), never a hang.
+        import threading
+        release, entered = threading.Event(), threading.Event()
+        batcher = self._blocked_batcher(release, entered)
+        try:
+            from repro.serving import batching
+            original = batching._DEFAULT_RESULT_WAIT_S
+            batching._DEFAULT_RESULT_WAIT_S = 0.2
+            try:
+                with pytest.raises(RequestTimeoutError):
+                    batcher.submit(np.ones((1, 2)))
+            finally:
+                batching._DEFAULT_RESULT_WAIT_S = original
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_zero_timeout_means_immediate_deadline(self):
+        batcher = MicroBatcher(_echo_rows).start()
+        try:
+            with pytest.raises(DeadlineExceeded):
+                batcher.submit(np.ones((1, 2)), timeout=0.0)
+        finally:
+            batcher.close()
 
 
 # ---------------------------------------------------------------------------
@@ -722,6 +793,50 @@ class TestHTTPErrorMapping:
         # The cap exhausted: the very next request succeeds.
         status, _ = _post(server.url, {"sql": SQL, "instance": "toy"})
         assert status == 200
+
+    def test_error_before_body_read_closes_connection(self, server):
+        # Regression: a keep-alive (HTTP/1.1) connection answered
+        # before its body was read must close — otherwise the unread
+        # body bytes get parsed as the next request line and every
+        # later request on the connection is corrupted.
+        import socket
+        body = b'{"sql": "SELECT 1", "instance": "toy"}'
+        request = (
+            f"POST /nope HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+        with socket.create_connection((server.host, server.port),
+                                      timeout=30) as sock:
+            sock.sendall(request)
+            data = b""
+            while True:
+                chunk = sock.recv(4096)   # EOF only if the server closes
+                if not chunk:
+                    break
+                data += chunk
+        assert b" 404 " in data.split(b"\r\n", 1)[0]
+        assert b"connection: close" in data.lower()
+
+    def test_body_read_errors_keep_connection_alive(self, server):
+        # Counterpart: once the body IS consumed (invalid JSON), the
+        # connection stays usable and the next request on it succeeds.
+        import http.client
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=30)
+        try:
+            conn.request("POST", "/predict", b"{not json",
+                         {"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            response.read()
+            conn.request("POST", "/predict",
+                         json.dumps({"sql": SQL, "instance": "toy"}),
+                         {"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 200
+            response.read()
+        finally:
+            conn.close()
 
     def test_healthz_reports_fault_plan(self, server):
         install_plan(FaultPlan.parse("http.handler:delay:1:0"))
