@@ -1,6 +1,6 @@
 """Static-analysis subsystem: prove T3's invariants without running them.
 
-Six analyzers behind one driver (``repro-t3 check``):
+Ten analyzers behind one driver (``repro-t3 check``):
 
 * :mod:`~repro.checks.codegen_verify` — parse generated C back into a
   tree structure and verify structural equivalence with the trained
@@ -17,22 +17,40 @@ Six analyzers behind one driver (``repro-t3 check``):
   dataflow over the multithreaded serving code (``LK...``),
 * :mod:`~repro.checks.lint` — project-wide conventions: typed errors,
   no bare except, no mutable defaults, no print, seeded randomness
-  (``PL...``).
+  (``PL...``),
+* :mod:`~repro.checks.responsiveness` — unbounded blocking calls in
+  code that must stay shut-downable (``RT...``),
+* :mod:`~repro.checks.determinism` — interprocedural taint from
+  nondeterminism sources (clock, ``id()``, unseeded randomness, set
+  order) to seed-critical sinks (``DT...``),
+* :mod:`~repro.checks.exceptions` — exception-contract proof: public
+  boundaries raise only :class:`~repro.errors.ReproError` subtypes,
+  the HTTP envelope stays total, load-control errors are never
+  swallowed (``EX...``),
+* :mod:`~repro.checks.resources` — must-release analysis over
+  exception edges for locks, futures, pools, handles, and breaker
+  probe slots (``RS...``).
 
 Shared infrastructure lives in :mod:`~repro.checks.astutils` (AST
-loading and navigation helpers) and :mod:`~repro.checks.cfg`
+loading and navigation helpers), :mod:`~repro.checks.cfg`
 (per-function control-flow graphs plus a generic forward-dataflow
-solver). Findings carry ``file:line``, a stable rule id, and a
+solver), :mod:`~repro.checks.callgraph` (project-wide call graph with
+layered call-target resolution), and :mod:`~repro.checks.interproc`
+(bottom-up per-function taint and may-raise summaries over the call
+graph). Findings carry ``file:line``, a stable rule id, and a
 severity; a TOML baseline (``checks_baseline.toml``) grandfathers known
 findings so the driver can gate CI on *new* ones only, and
 ``--format sarif`` renders the same findings for code-scanning upload.
 """
 
+from .callgraph import CallGraph, FunctionInfo, build_call_graph
 from .cfg import CFG, Block, build_cfg, forward_dataflow
 from .codegen_verify import parse_c_source, self_check_model, verify_codegen
 from .concurrency import check_lock_discipline
+from .determinism import check_determinism
 from .driver import ANALYZERS, RULES, CheckReport, run_checks
 from .ensemble_analyze import analyze_ensemble
+from .exceptions import check_exception_contracts
 from .feature_schema import check_feature_schema
 from .findings import (
     Baseline,
@@ -42,8 +60,10 @@ from .findings import (
     update_baseline,
     write_baseline,
 )
+from .interproc import compute_raises_summaries, compute_taint_summaries
 from .lint import check_lint
 from .plan_invariants import check_plan_invariants
+from .resources import check_resource_lifecycles
 from .sarif import render_sarif
 
 __all__ = [
@@ -51,17 +71,25 @@ __all__ = [
     "Baseline",
     "Block",
     "CFG",
+    "CallGraph",
     "CheckReport",
     "Finding",
+    "FunctionInfo",
     "RULES",
     "Severity",
     "Suppression",
     "analyze_ensemble",
+    "build_call_graph",
     "build_cfg",
+    "check_determinism",
+    "check_exception_contracts",
     "check_feature_schema",
     "check_lint",
     "check_lock_discipline",
     "check_plan_invariants",
+    "check_resource_lifecycles",
+    "compute_raises_summaries",
+    "compute_taint_summaries",
     "forward_dataflow",
     "parse_c_source",
     "render_sarif",

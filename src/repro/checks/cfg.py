@@ -124,17 +124,20 @@ class _WithFrame:
     item: ast.withitem
     line: int
     is_async: bool
+    serial: int = -1
 
 
 @dataclass
 class _TryFrame:
     handler_entries: List[int]
+    serial: int = -1
 
 
 @dataclass
 class _FinallyFrame:
     entry: int
     exit: int
+    serial: int = -1
 
 
 @dataclass
@@ -154,6 +157,7 @@ class _Builder:
         self.loops: List[_Loop] = []
         self.func = func
         self._exception_noted: set = set()
+        self._frame_serial = 0
 
     # -- plumbing ---------------------------------------------------------
 
@@ -166,6 +170,14 @@ class _Builder:
         if src is not None:
             src.add_successor(dst.index)
 
+    def _push_frame(self, frame: object) -> None:
+        """Stack a frame, stamping a monotonic serial: keys derived
+        from frames must not use ``id()`` (addresses recycle after a
+        popped frame is collected, aliasing dedup keys)."""
+        frame.serial = self._frame_serial  # type: ignore[attr-defined]
+        self._frame_serial += 1
+        self.unwind.append(frame)
+
     def _append(self, current: Optional[Block], event: object) -> None:
         if current is None:
             return
@@ -174,7 +186,8 @@ class _Builder:
         # One routing per (block, unwind-stack) state is enough — the
         # edges are identical for every event sharing that state.
         if any(isinstance(f, (_TryFrame, _FinallyFrame)) for f in self.unwind):
-            key = (current.index, tuple(id(f) for f in self.unwind))
+            key = (current.index,
+                   tuple(f.serial for f in self.unwind))  # type: ignore
             if key not in self._exception_noted:
                 self._exception_noted.add(key)
                 self._route_exception(current)
@@ -356,7 +369,7 @@ class _Builder:
         is_async = isinstance(node, ast.AsyncWith)
         for item in node.items:
             self._append(current, WithEnter(item, node.lineno, is_async))
-            self.unwind.append(_WithFrame(item, node.lineno, is_async))
+            self._push_frame(_WithFrame(item, node.lineno, is_async))
         body_end = self._body(node.body, current)
         for item in reversed(node.items):
             frame = self.unwind.pop()
@@ -376,14 +389,14 @@ class _Builder:
             fexit = (fend if fend is not None
                      else self._new_block("finally-exit"))
             finally_frame = _FinallyFrame(fentry.index, fexit.index)
-            self.unwind.append(finally_frame)
+            self._push_frame(finally_frame)
 
         handler_entries = [self._new_block("except").index
                            for _ in node.handlers]
         try_frame: Optional[_TryFrame] = None
         if node.handlers:
             try_frame = _TryFrame(handler_entries)
-            self.unwind.append(try_frame)
+            self._push_frame(try_frame)
 
         body_end = self._body(node.body, self._enter(current, "try"))
         if try_frame is not None:

@@ -20,17 +20,21 @@ from ..trees.boosting import BoostedTreesModel
 from ..trees.serialize import loads_model
 from .codegen_verify import self_check_model, verify_codegen
 from .concurrency import check_lock_discipline
+from .determinism import check_determinism
 from .ensemble_analyze import analyze_ensemble
+from .exceptions import check_exception_contracts
 from .feature_schema import check_feature_schema
 from .findings import (
     Baseline,
     Finding,
     Severity,
+    Suppression,
     render_json,
     render_text,
 )
 from .lint import check_lint
 from .plan_invariants import check_plan_invariants
+from .resources import check_resource_lifecycles
 from .responsiveness import check_responsiveness
 from .sarif import render_sarif
 
@@ -47,6 +51,17 @@ EXIT_ANALYZER_CRASH = 3
 #: rule id -> one-line description (the check's contract).
 RULES: Dict[str, str] = {
     "CG000": "codegen verifier could not run",
+    "DT000": "determinism-taint analyzer could not run",
+    "DT001": "wall-clock value reaches a seed-critical sink",
+    "DT002": "id() key of a persistent container without pinning the object",
+    "DT003": "stdlib random call outside repro.rng",
+    "DT004": "OS entropy (urandom/uuid/secrets) reaches a sink",
+    "DT005": "builtin hash() value reaches a sink",
+    "DT006": "set iteration order reaches a sink",
+    "DT007": "process/thread identity reaches a sink",
+    "DT008": "os.environ value reaches a sink",
+    "DT009": "set.pop() arbitrary element reaches a sink",
+    "DT010": "nondeterministic argument forwarded into a sink via a call",
     "CG001": "generated C source cannot be parsed back into a tree",
     "CG002": "tree-function count or numbering mismatch",
     "CG003": "node/leaf structure differs from the trained model",
@@ -68,6 +83,13 @@ RULES: Dict[str, str] = {
     "EA008": "split threshold is NaN or infinite",
     "EA009": "base score is NaN or infinite",
     "EA010": "split feature index outside [0, n_features)",
+    "EX000": "exception-contract analyzer could not run",
+    "EX001": "public boundary function may raise a non-ReproError type",
+    "EX002": "except BaseException without re-raise",
+    "EX003": "raise inside an except handler without 'from'",
+    "EX004": "ServingError subclass with no envelope in error_response",
+    "EX005": "broad handler swallows load-control errors",
+    "EX006": "raising the bare ReproError/ServingError base class",
     "FS000": "feature-schema detector could not run",
     "FS001": "feature emitted by the extractor but never declared",
     "FS002": "feature declared but never emitted",
@@ -103,6 +125,15 @@ RULES: Dict[str, str] = {
     "PL003": "mutable default argument",
     "PL004": "print() in library code",
     "PL005": "unseeded numpy.random outside rng.py",
+    "RS000": "resource-lifecycle analyzer could not run",
+    "RS001": "manually acquired lock may still be held at exit",
+    "RS002": "lock released only on the normal path (exception-unsafe)",
+    "RS003": "file handle not released on every path",
+    "RS004": "executor/pool not released on every path",
+    "RS005": "unguarded set_result/set_exception on a shared future",
+    "RS006": "breaker probe slot not repaid by record_* on every path",
+    "RS007": "socket not released on every path",
+    "RS008": "temporary file/directory not released on every path",
     "RT000": "responsiveness checker could not run",
     "RT001": "queue get() with no timeout (unbounded block)",
     "RT002": "future result() with no timeout (unbounded block)",
@@ -119,12 +150,28 @@ class CheckReport:
     analyzers_run: List[str]
     elapsed_seconds: float
     timings: Dict[str, float] = field(default_factory=dict)
+    #: baseline entries that matched no finding this run — dead weight
+    #: (the source line moved or the issue was fixed); prune them with
+    #: ``--update-baseline``.
+    stale_suppressions: List[Suppression] = field(default_factory=list)
 
     @property
     def exit_code(self) -> int:
         if any(f.rule.endswith("000") for f in self.findings):
             return EXIT_ANALYZER_CRASH
         return EXIT_FINDINGS if self.findings else 0
+
+    def stale_warnings(self) -> List[str]:
+        """Human-readable warning per dead baseline entry."""
+        out = []
+        for entry in self.stale_suppressions:
+            where = entry.path or "<any file>"
+            if entry.line is not None:
+                where += f":{entry.line}"
+            out.append(f"stale baseline suppression {entry.rule} at "
+                       f"{where} matches nothing; prune it with "
+                       f"--update-baseline")
+        return out
 
     def render(self, fmt: str = "text") -> str:
         if fmt == "json":
@@ -134,12 +181,18 @@ class CheckReport:
             payload["analyzer_seconds"] = {
                 name: round(seconds, 3)
                 for name, seconds in self.timings.items()}
+            payload["stale_suppressions"] = [
+                {"rule": s.rule, "path": s.path, "line": s.line,
+                 "reason": s.reason}
+                for s in self.stale_suppressions]
             payload["exit_code"] = self.exit_code
             return json.dumps(payload, indent=2)
         if fmt == "sarif":
             return render_sarif(self.findings, self.suppressed, RULES)
         if fmt == "text":
-            return render_text(self.findings, self.suppressed)
+            lines = [render_text(self.findings, self.suppressed)]
+            lines.extend(self.stale_warnings())
+            return "\n".join(lines)
         raise CheckError(
             f"unknown output format {fmt!r} (use text, json, or sarif)")
 
@@ -207,63 +260,137 @@ ANALYZERS: Dict[str, Tuple[str, Callable[[CheckOptions], List[Finding]]]] = {
     "concurrency": ("LK", lambda opts: check_lock_discipline()),
     "lint": ("PL", lambda opts: check_lint()),
     "responsiveness": ("RT", lambda opts: check_responsiveness()),
+    "determinism": ("DT", lambda opts: check_determinism()),
+    "exceptions": ("EX", lambda opts: check_exception_contracts()),
+    "resources": ("RS", lambda opts: check_resource_lifecycles()),
 }
 
+#: analyzers whose first step is building the shared call graph; a
+#: parallel run warms the graph cache once before dispatching them.
+_INTERPROCEDURAL = frozenset({"determinism", "exceptions", "resources"})
 
-def _selected_analyzers(rules: Optional[Sequence[str]]) -> Dict[str, bool]:
-    """Which analyzers a ``--rule`` selection touches (all when empty)."""
-    if not rules:
-        return {name: True for name in ANALYZERS}
-    prefixes = {rule[:2].upper() for rule in rules}
-    unknown = [rule for rule in rules
-               if rule.upper() not in RULES
-               and rule[:2].upper() not in {p for p, _ in ANALYZERS.values()}]
-    if unknown:
-        raise CheckError(
-            f"unknown rule(s) {', '.join(sorted(unknown))}; "
-            f"known rules: {', '.join(sorted(RULES))}")
-    return {name: prefix in prefixes
-            for name, (prefix, _) in ANALYZERS.items()}
+
+def _selected_analyzers(rules: Optional[Sequence[str]],
+                        only: Optional[Sequence[str]] = None
+                        ) -> Dict[str, bool]:
+    """Which analyzers a ``--rule``/``--only`` selection touches.
+
+    ``only`` selects whole analyzers by name (``determinism``) or rule
+    prefix (``DT``); ``rules`` narrows to individual rule ids.  Both
+    empty means everything.
+    """
+    prefix_to_name = {prefix: name
+                      for name, (prefix, _) in ANALYZERS.items()}
+    selected = {name: True for name in ANALYZERS}
+    if only:
+        chosen = set()
+        for token in only:
+            if token in ANALYZERS:
+                chosen.add(token)
+            elif token.upper() in prefix_to_name:
+                chosen.add(prefix_to_name[token.upper()])
+            else:
+                raise CheckError(
+                    f"unknown analyzer {token!r}; known analyzers: "
+                    f"{', '.join(sorted(ANALYZERS))} "
+                    f"(or prefixes {', '.join(sorted(prefix_to_name))})")
+        selected = {name: name in chosen for name in ANALYZERS}
+    if rules:
+        prefixes = {rule[:2].upper() for rule in rules}
+        unknown = [rule for rule in rules
+                   if rule.upper() not in RULES
+                   and rule[:2].upper() not in prefix_to_name]
+        if unknown:
+            raise CheckError(
+                f"unknown rule(s) {', '.join(sorted(unknown))}; "
+                f"known rules: {', '.join(sorted(RULES))}")
+        selected = {name: selected[name] and prefix in prefixes
+                    for name, (prefix, _) in ANALYZERS.items()}
+    return selected
+
+
+def _run_one(name: str, prefix: str,
+             runner: Callable[[CheckOptions], List[Finding]],
+             opts: CheckOptions) -> Tuple[List[Finding], float]:
+    """Run one analyzer, converting any crash into a ``<prefix>000``.
+
+    A broken analyzer must not take down the run: the other analyzers'
+    findings (and SARIF output) still matter, and the crash itself is
+    reported as a finding so the driver exits with
+    :data:`EXIT_ANALYZER_CRASH` instead of pretending the code is clean.
+    """
+    analyzer_started = time.perf_counter()
+    try:
+        produced = runner(opts)
+    except CheckError as exc:
+        produced = [Finding(f"{prefix}000", Severity.ERROR,
+                            "<driver>", 0, str(exc))]
+    except Exception as exc:  # analyzer bug — report, do not crash the run
+        produced = [Finding(
+            f"{prefix}000", Severity.ERROR, "<driver>", 0,
+            f"analyzer {name!r} crashed: {type(exc).__name__}: {exc}")]
+    return produced, time.perf_counter() - analyzer_started
 
 
 def run_checks(rules: Optional[Sequence[str]] = None,
                baseline: Optional[Union[str, Path, Baseline]] = None,
                model_path: Optional[str] = None,
-               check_unused_features: bool = False) -> CheckReport:
+               check_unused_features: bool = False,
+               only: Optional[Sequence[str]] = None,
+               jobs: int = 1) -> CheckReport:
     """Run the selected analyzers and apply the baseline.
 
     ``rules`` filters by full id (``LK001``) or analyzer prefix
-    (``LK``); empty means everything. ``baseline`` may be a path or a
-    loaded :class:`Baseline`. ``model_path`` feeds the codegen verifier,
-    the ensemble analyzer, and the schema drift detector a persisted
-    model to cross-check; ``check_unused_features`` additionally turns
-    on EA006 for that model.
+    (``LK``); ``only`` selects whole analyzers by name or prefix; empty
+    means everything. ``baseline`` may be a path or a loaded
+    :class:`Baseline`. ``model_path`` feeds the codegen verifier, the
+    ensemble analyzer, and the schema drift detector a persisted model
+    to cross-check; ``check_unused_features`` additionally turns on
+    EA006 for that model. ``jobs`` > 1 runs analyzers concurrently in
+    threads; findings are still reported in the fixed analyzer order,
+    so output is deterministic regardless of scheduling.
     """
     started = time.perf_counter()
-    selected = _selected_analyzers(rules)
+    selected = _selected_analyzers(rules, only)
     wanted = {rule.upper() for rule in rules} if rules else None
     opts = CheckOptions(model_path=model_path,
                         check_unused_features=check_unused_features)
+    if jobs < 1:
+        raise CheckError(f"jobs must be >= 1, got {jobs}")
 
+    to_run = [(name, prefix, runner)
+              for name, (prefix, runner) in ANALYZERS.items()
+              if selected[name]]
+    analyzers_run = [name for name, _, _ in to_run]
     findings: List[Finding] = []
-    analyzers_run: List[str] = []
     timings: Dict[str, float] = {}
-    for name, (prefix, runner) in ANALYZERS.items():
-        if not selected[name]:
-            continue
-        analyzers_run.append(name)
-        analyzer_started = time.perf_counter()
-        try:
-            produced = runner(opts)
-        except CheckError as exc:
-            produced = [Finding(f"{prefix}000", Severity.ERROR,
-                                "<driver>", 0, str(exc))]
-        timings[name] = time.perf_counter() - analyzer_started
-        findings.extend(produced)
+    if jobs > 1 and len(to_run) > 1:
+        if any(name in _INTERPROCEDURAL for name, _, _ in to_run):
+            # Warm the shared call-graph cache serially: otherwise the
+            # three interprocedural analyzers would each build it.
+            from .callgraph import build_call_graph
+            build_call_graph()
+        from concurrent.futures import ThreadPoolExecutor
+        with ThreadPoolExecutor(max_workers=min(jobs, len(to_run)),
+                                thread_name_prefix="repro-check") as pool:
+            futures = [pool.submit(_run_one, name, prefix, runner, opts)
+                       for name, prefix, runner in to_run]
+            for (name, _, _), future in zip(to_run, futures):
+                produced, seconds = future.result()
+                timings[name] = seconds
+                findings.extend(produced)
+    else:
+        for name, prefix, runner in to_run:
+            produced, seconds = _run_one(name, prefix, runner, opts)
+            timings[name] = seconds
+            findings.extend(produced)
 
     if wanted is not None:
+        # Crash findings always survive the filter: a --rule run whose
+        # analyzer died must not exit 0.
         findings = [f for f in findings
-                    if f.rule in wanted or f.rule[:2] in wanted]
+                    if f.rule in wanted or f.rule[:2] in wanted
+                    or f.rule.endswith("000")]
 
     if baseline is None:
         loaded = Baseline()
@@ -271,8 +398,13 @@ def run_checks(rules: Optional[Sequence[str]] = None,
         loaded = baseline
     else:
         loaded = Baseline.load(baseline)
-    new, suppressed = loaded.split(findings)
+    new, suppressed, stale = loaded.partition(findings)
+    if rules or only:
+        # A filtered run never saw most findings, so absence of a match
+        # proves nothing — stale detection needs the full suite.
+        stale = []
     return CheckReport(findings=new, suppressed=suppressed,
                        analyzers_run=analyzers_run,
                        elapsed_seconds=time.perf_counter() - started,
-                       timings=timings)
+                       timings=timings,
+                       stale_suppressions=stale)

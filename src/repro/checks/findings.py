@@ -173,10 +173,31 @@ class Baseline:
     def split(self, findings: Sequence[Finding]
               ) -> "tuple[List[Finding], List[Finding]]":
         """Partition into (new, suppressed) preserving order."""
-        new, suppressed = [], []
-        for finding in findings:
-            (suppressed if self.is_suppressed(finding) else new).append(finding)
+        new, suppressed, _ = self.partition(findings)
         return new, suppressed
+
+    def partition(self, findings: Sequence[Finding]
+                  ) -> "tuple[List[Finding], List[Finding], List[Suppression]]":
+        """Like :meth:`split`, also returning the *stale* suppressions.
+
+        A suppression is stale when it matched no finding in this run:
+        either the underlying issue was fixed (delete the entry) or the
+        source drifted past it (the finding it once covered now escapes
+        as new — the entry silences nothing and misleads readers).
+        """
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        used = [False] * len(self.suppressions)
+        for finding in findings:
+            hit = False
+            for index, entry in enumerate(self.suppressions):
+                if entry.matches(finding):
+                    used[index] = True
+                    hit = True
+            (suppressed if hit else new).append(finding)
+        stale = [entry for entry, was_used
+                 in zip(self.suppressions, used) if not was_used]
+        return new, suppressed, stale
 
 
 def render_text(findings: Sequence[Finding],

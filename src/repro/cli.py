@@ -158,6 +158,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="RULE",
                        help="run only this rule id (LK001) or analyzer "
                             "prefix (LK); repeatable")
+    check.add_argument("--only", action="append", dest="only", default=[],
+                       metavar="ANALYZER",
+                       help="run only this analyzer, by name (determinism) "
+                            "or rule prefix (DT); repeatable")
+    check.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run up to N analyzers concurrently "
+                            "(default: 1, serial)")
     check.add_argument("--format", default="text",
                        choices=("text", "json", "sarif"),
                        dest="fmt", help="findings output format")
@@ -399,7 +406,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
             baseline = DEFAULT_BASELINE_NAME
     report = run_checks(rules=args.rules or None, baseline=baseline,
                         model_path=args.model,
-                        check_unused_features=args.check_unused_features)
+                        check_unused_features=args.check_unused_features,
+                        only=args.only or None, jobs=args.jobs)
     if args.write_baseline:
         write_baseline(report.findings, args.write_baseline)
         print(f"wrote {len(report.findings)} suppression(s) "
@@ -412,6 +420,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
               f"(with reason stubs), dropped {dropped}")
         return 0
     print(report.render(args.fmt))
+    if args.fmt == "sarif":
+        # SARIF is machine-consumed; route the human warnings around it.
+        for warning in report.stale_warnings():
+            print(warning, file=sys.stderr)
     return report.exit_code
 
 

@@ -86,6 +86,13 @@ class DeadlineExceeded(RequestTimeoutError):
     up waiting) so clients can tell "never ran" from "ran too long"."""
 
 
+class NonFinitePredictionError(ServingError):
+    """Raised when a serving backend produces NaN or infinite raw
+    scores. An artifact failure, not a load decision: the degradation
+    chain catches it, trips the breaker, and falls through to the next
+    rung instead of answering with garbage."""
+
+
 class ServiceClosedError(ServingError):
     """Raised when a request reaches a service or batcher that has
     been closed — including requests that were still queued when the

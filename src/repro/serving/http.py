@@ -26,6 +26,7 @@ internal bugs — is answered with a JSON envelope ``{"error": code,
 :class:`~repro.errors.InstanceNotFoundError`   404
 :class:`~repro.errors.ServiceClosedError`      503
 :class:`~repro.errors.InjectedFaultError`      503
+:class:`~repro.errors.NonFinitePredictionError` 500
 any other :class:`~repro.errors.ReproError`    400
 anything else                                  500
 =============================================  ====
@@ -45,6 +46,7 @@ from ..errors import (
     InstanceNotFoundError,
     LoadShedError,
     ModelNotFoundError,
+    NonFinitePredictionError,
     QueueFullError,
     ReproError,
     RequestTimeoutError,
@@ -77,6 +79,10 @@ def error_response(exc: Exception) -> Tuple[int, str]:
         return 503, "service_closed"
     if isinstance(exc, InjectedFaultError):
         return 503, "injected_fault"
+    if isinstance(exc, NonFinitePredictionError):
+        # The degradation chain normally absorbs this; reaching HTTP
+        # means every rung produced garbage — a server fault, not 4xx.
+        return 500, "non_finite_prediction"
     if isinstance(exc, ReproError):
         return 400, "bad_request"
     return 500, "internal_error"

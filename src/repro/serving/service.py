@@ -42,6 +42,7 @@ import numpy as np
 from ..errors import (
     InjectedFaultError,
     InstanceNotFoundError,
+    NonFinitePredictionError,
     QueueFullError,
     RequestTimeoutError,
     SchemaError,
@@ -420,7 +421,7 @@ class PredictionService:
                 raw = self._batcher_for(entry).submit(
                     stacked, deadline=deadline)
                 if not np.all(np.isfinite(raw)):
-                    raise ServingError(
+                    raise NonFinitePredictionError(
                         "backend returned non-finite predictions")
             except (QueueFullError, RequestTimeoutError,
                     ServiceClosedError):
@@ -444,7 +445,7 @@ class PredictionService:
                     np.ascontiguousarray(stacked, dtype=np.float64)),
                 dtype=np.float64)
             if not np.all(np.isfinite(raw)):
-                raise ServingError(
+                raise NonFinitePredictionError(
                     "interpreted backend returned non-finite predictions")
         except Exception:
             pass

@@ -144,19 +144,26 @@ def compile_model(model: BoostedTreesModel, symbol_prefix: str = "t3",
 
     source = generate_c_source(model, symbol_prefix)
     workdir = Path(tempfile.mkdtemp(prefix="repro-treecomp-"))
-    source_path = workdir / "model.c"
-    library_path = workdir / "model.so"
-    source_path.write_text(source)
-
-    command = [compiler, f"-O{optimization_level}", "-shared", "-fPIC",
-               "-o", str(library_path), str(source_path)]
+    # Any failure between mkdtemp and the ownership hand-off to
+    # CompiledTreeModel must remove the directory, not just the two
+    # compiler-error paths (a full disk at write_text used to leak it).
     try:
-        result = subprocess.run(command, capture_output=True, text=True)
-    except OSError as exc:
+        source_path = workdir / "model.c"
+        library_path = workdir / "model.so"
+        source_path.write_text(source)
+
+        command = [compiler, f"-O{optimization_level}", "-shared", "-fPIC",
+                   "-o", str(library_path), str(source_path)]
+        try:
+            result = subprocess.run(command, capture_output=True, text=True)
+        except OSError as exc:
+            raise CompilationError(
+                f"cannot run compiler {compiler!r}: {exc}") from exc
+        if result.returncode != 0:
+            raise CompilationError(
+                f"{compiler} failed ({result.returncode}):\n"
+                f"{result.stderr[:2000]}")
+    except BaseException:
         shutil.rmtree(workdir, ignore_errors=True)
-        raise CompilationError(f"cannot run compiler {compiler!r}: {exc}") from exc
-    if result.returncode != 0:
-        shutil.rmtree(workdir, ignore_errors=True)
-        raise CompilationError(
-            f"{compiler} failed ({result.returncode}):\n{result.stderr[:2000]}")
+        raise
     return CompiledTreeModel(library_path, workdir, model.n_features, symbol_prefix)

@@ -1,0 +1,281 @@
+"""Call-graph construction and interprocedural summaries.
+
+The call graph resolves callees through layered strategies (same-module
+names, imports, self/cls methods, annotations, constructor assignment,
+class-hierarchy fallback); the summaries propagate taint and may-raise
+sets bottom-up over its edges. Each resolution layer and each summary
+direction gets a small corpus that only that layer can resolve.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.checks.callgraph import build_call_graph
+from repro.checks.interproc import (
+    ExceptionHierarchy,
+    compute_raises_summaries,
+    compute_taint_summaries,
+)
+
+
+def _graph(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return build_call_graph([tmp_path])
+
+
+def _callees(graph, qname):
+    out = set()
+    for site in graph.functions[qname].calls:
+        out.update(site.callees)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# call resolution layers
+# ---------------------------------------------------------------------------
+
+
+def test_same_module_call_resolves(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        def helper():
+            return 1
+
+        def caller():
+            return helper()
+    """})
+    assert _callees(graph, "mod:caller") == {"mod:helper"}
+
+
+def test_imported_call_resolves(tmp_path):
+    graph = _graph(tmp_path, {
+        "util.py": """
+            def shared():
+                return 1
+        """,
+        "mod.py": """
+            from .util import shared
+
+            def caller():
+                return shared()
+        """})
+    assert _callees(graph, "mod:caller") == {"util:shared"}
+
+
+def test_self_method_call_resolves(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        class Box:
+            def _inner(self):
+                return 1
+
+            def outer(self):
+                return self._inner()
+    """})
+    assert _callees(graph, "mod:Box.outer") == {"mod:Box._inner"}
+
+
+def test_inherited_method_resolves_through_base(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        class Base:
+            def work(self):
+                return 1
+
+        class Child(Base):
+            def run(self):
+                return self.work()
+    """})
+    assert _callees(graph, "mod:Child.run") == {"mod:Base.work"}
+
+
+def test_annotation_typed_parameter_resolves(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        class Service:
+            def close(self):
+                return None
+
+        def shutdown(service: Service):
+            service.close()
+    """})
+    assert _callees(graph, "mod:shutdown") == {"mod:Service.close"}
+
+
+def test_constructor_assignment_resolves_attr_calls(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        class Worker:
+            def step(self):
+                return 1
+
+        class Owner:
+            def __init__(self):
+                self.worker = Worker()
+
+            def tick(self):
+                return self.worker.step()
+    """})
+    assert _callees(graph, "mod:Owner.tick") == {"mod:Worker.step"}
+
+
+def test_cha_fallback_caps_candidates(tmp_path):
+    # Four classes define the same method: past the cap, resolution
+    # gives up (empty) rather than guessing wildly.
+    classes = "\n".join(
+        f"class C{i}:\n    def fire(self):\n        return {i}\n"
+        for i in range(4))
+    graph = _graph(tmp_path, {"mod.py": f"""
+        {textwrap.indent(classes, '        ').strip()}
+
+        def dispatch(obj):
+            return obj.fire()
+    """})
+    assert _callees(graph, "mod:dispatch") == set()
+
+
+def test_callers_of_reverse_edges(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        def leaf():
+            return 1
+
+        def a():
+            return leaf()
+
+        def b():
+            return leaf()
+    """})
+    assert set(graph.callers_of()["mod:leaf"]) == {"mod:a", "mod:b"}
+
+
+# ---------------------------------------------------------------------------
+# taint summaries
+# ---------------------------------------------------------------------------
+
+
+def test_taint_propagates_through_return(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        import time
+
+        def now():
+            return time.time()
+
+        def stamp():
+            return now()
+    """})
+    summaries = compute_taint_summaries(graph)
+    assert "clock" in summaries["mod:now"].returns
+    assert "clock" in summaries["mod:stamp"].returns
+
+
+def test_taint_reaches_sink_interprocedurally(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        import time
+
+        def now():
+            return time.time()
+
+        def seed_it(derive_seed):
+            value = now()
+            derive_seed(value)
+    """})
+    summaries = compute_taint_summaries(graph)
+    hits = summaries["mod:seed_it"].hits
+    assert len(hits) == 1
+    assert hits[0].sink == "derive_seed"
+    assert "clock" in hits[0].kinds
+
+
+def test_param_to_sink_summary(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        def forward(value):
+            derive_seed(value)
+    """})
+    summaries = compute_taint_summaries(graph)
+    assert summaries["mod:forward"].param_to_sink == {0: {"derive_seed"}}
+
+
+def test_sorted_launders_set_order(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        def clean(items):
+            ordered = sorted(set(items))
+            derive_seed(ordered)
+    """})
+    summaries = compute_taint_summaries(graph)
+    assert not any("set-order" in h.kinds
+                   for h in summaries["mod:clean"].hits)
+
+
+# ---------------------------------------------------------------------------
+# raises summaries
+# ---------------------------------------------------------------------------
+
+
+def test_raise_escapes_through_call_chain(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        def deep():
+            raise ValueError("boom")
+
+        def mid():
+            return deep()
+
+        def top():
+            return mid()
+    """})
+    hierarchy = ExceptionHierarchy.from_graph(graph)
+    summaries = compute_raises_summaries(graph, hierarchy)
+    assert "ValueError" in summaries["mod:top"].escapes
+
+
+def test_handler_stops_escape(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        def deep():
+            raise ValueError("boom")
+
+        def top():
+            try:
+                return deep()
+            except ValueError:
+                return None
+    """})
+    hierarchy = ExceptionHierarchy.from_graph(graph)
+    summaries = compute_raises_summaries(graph, hierarchy)
+    assert "ValueError" not in summaries["mod:top"].escapes
+
+
+def test_orelse_raises_escape_past_handlers(tmp_path):
+    # Python does not route a try's `else` block through its handlers.
+    graph = _graph(tmp_path, {"mod.py": """
+        def top():
+            try:
+                x = 1
+            except ValueError:
+                return None
+            else:
+                raise ValueError("late")
+    """})
+    hierarchy = ExceptionHierarchy.from_graph(graph)
+    summaries = compute_raises_summaries(graph, hierarchy)
+    assert "ValueError" in summaries["mod:top"].escapes
+
+
+def test_hierarchy_catches_subclass_via_corpus_bases(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": """
+        class AppError(Exception):
+            pass
+
+        class DeepError(AppError):
+            pass
+
+        def deep():
+            raise DeepError("boom")
+
+        def top():
+            try:
+                return deep()
+            except AppError:
+                return None
+    """})
+    hierarchy = ExceptionHierarchy.from_graph(graph)
+    assert hierarchy.catches("AppError", "DeepError")
+    summaries = compute_raises_summaries(graph, hierarchy)
+    assert "DeepError" not in summaries["mod:top"].escapes

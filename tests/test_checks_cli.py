@@ -7,7 +7,8 @@ import json
 from repro.cli import main
 
 _ALL_ANALYZERS = {"codegen", "feature-schema", "plan-invariants",
-                  "ensemble", "concurrency", "lint", "responsiveness"}
+                  "ensemble", "concurrency", "lint", "responsiveness",
+                  "determinism", "exceptions", "resources"}
 
 
 def _stale_model(tmp_path):
@@ -52,8 +53,38 @@ def test_check_list_rules(capsys):
     assert main(["check", "--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule in ("CG001", "FS001", "LK001", "LK008", "PI001", "PI012",
-                 "EA001", "EA010", "PL001"):
+                 "EA001", "EA010", "PL001", "DT001", "DT010", "EX001",
+                 "EX006", "RS001", "RS008"):
         assert rule in out
+
+
+def test_check_only_flag(capsys):
+    assert main(["check", "--only", "determinism", "--only", "EX",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["analyzers"] == ["determinism", "exceptions"]
+
+
+def test_check_only_unknown_analyzer_fails(capsys):
+    assert main(["check", "--only", "nosuch"]) == 1
+    assert "unknown analyzer" in capsys.readouterr().err
+
+
+def test_check_jobs_flag(capsys):
+    assert main(["check", "--jobs", "4", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert set(payload["analyzers"]) == _ALL_ANALYZERS
+
+
+def test_check_warns_on_stale_suppression(tmp_path, capsys):
+    baseline = tmp_path / "baseline.toml"
+    baseline.write_text('[[suppress]]\nrule = "PL004"\n'
+                        'path = "src/repro/nonexistent.py"\nline = 1\n')
+    assert main(["check", "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "stale baseline suppression PL004" in out
+    assert "src/repro/nonexistent.py:1" in out
 
 
 def test_check_seeded_drift_exits_nonzero(tmp_path, capsys):

@@ -1,0 +1,238 @@
+"""Determinism-taint analyzer (DT rules): planted defects and clean twins.
+
+Each rule gets a corpus that fires it and a near-identical corpus that
+does not — the clean twin is what separates dataflow from grep. The
+seeded-mutation test reintroduces the PR 4 ``CardinalityModel`` bug
+(an ``id()``-keyed memo that does not pin the keyed object) and asserts
+DT002 flags it, while the shipped pinned shape stays clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.checks.determinism import check_determinism
+
+
+def _findings(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return check_determinism(roots=[tmp_path])
+
+
+def _rules(tmp_path, files):
+    return {f.rule for f in _findings(tmp_path, files)}
+
+
+# ---------------------------------------------------------------------------
+# DT001 — wall clock into a sink
+# ---------------------------------------------------------------------------
+
+
+def test_dt001_clock_reaches_sink(tmp_path):
+    findings = _findings(tmp_path, {"mod.py": """
+        import time
+
+        def seed(derive_seed):
+            t = time.time()
+            derive_seed(t)
+    """})
+    assert {f.rule for f in findings} == {"DT001"}
+    assert "wall-clock" in findings[0].message
+
+
+def test_dt001_interprocedural_through_helper(tmp_path):
+    assert "DT001" in _rules(tmp_path, {"mod.py": """
+        import time
+
+        def now():
+            return time.time()
+
+        def seed(derive_seed):
+            derive_seed(now())
+    """})
+
+
+def test_dt001_clean_constant_seed(tmp_path):
+    assert _rules(tmp_path, {"mod.py": """
+        def seed(derive_seed):
+            derive_seed(42)
+    """}) == set()
+
+
+# ---------------------------------------------------------------------------
+# DT002 — id() keys of persistent containers (the PR 4 bug class)
+# ---------------------------------------------------------------------------
+
+# Pre-PR4 CardinalityModel memo shape: id() key, no pin. CPython reuses
+# addresses after GC, so the key can alias two distinct plan operators.
+_PR4_MUTANT = """
+    class CardinalityModel:
+        def __init__(self):
+            self._memo = {}
+
+        def estimate(self, op):
+            key = id(op)
+            if key in self._memo:
+                return self._memo[key]
+            value = float(len(op.children))
+            self._memo[key] = value
+            return value
+"""
+
+# The shipped fix pins the operator in the stored value, keeping the
+# address alive for the memo's lifetime.
+_PR4_FIXED = """
+    class CardinalityModel:
+        def __init__(self):
+            self._memo = {}
+
+        def estimate(self, op):
+            key = id(op)
+            if key in self._memo:
+                return self._memo[key][1]
+            value = float(len(op.children))
+            self._memo[key] = (op, value)
+            return value
+"""
+
+
+def test_dt002_seeded_pr4_memo_mutation_flagged(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"model.py": _PR4_MUTANT})
+                if f.rule == "DT002"]
+    assert len(findings) == 1
+    assert "pinning" in findings[0].message
+    assert "op" in findings[0].message
+
+
+def test_dt002_pinned_memo_is_clean(tmp_path):
+    assert "DT002" not in _rules(tmp_path, {"model.py": _PR4_FIXED})
+
+
+def test_dt002_module_global_container(tmp_path):
+    assert "DT002" in _rules(tmp_path, {"mod.py": """
+        _SEEN = {}
+
+        def note(obj):
+            _SEEN[id(obj)] = True
+    """})
+
+
+def test_dt002_local_container_is_clean(tmp_path):
+    # A container that dies with the call cannot see address reuse.
+    assert "DT002" not in _rules(tmp_path, {"mod.py": """
+        def dedupe(items):
+            seen = {}
+            for item in items:
+                seen[id(item)] = item
+            return list(seen.values())
+    """})
+
+
+# ---------------------------------------------------------------------------
+# DT003 — stdlib random outside the rng module
+# ---------------------------------------------------------------------------
+
+
+def test_dt003_random_outside_rng(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        import random
+
+        def pick(items):
+            return random.choice(items)
+    """}) if f.rule == "DT003"]
+    assert len(findings) == 1
+    assert "derive_rng" in findings[0].message
+
+
+def test_dt003_rng_module_is_exempt(tmp_path):
+    assert "DT003" not in _rules(tmp_path, {"rng.py": """
+        import random
+
+        def make_rng(seed):
+            return random.Random(seed)
+    """})
+
+
+# ---------------------------------------------------------------------------
+# DT004/DT005 — entropy and hash() into sinks
+# ---------------------------------------------------------------------------
+
+
+def test_dt004_urandom_reaches_sink(tmp_path):
+    assert "DT004" in _rules(tmp_path, {"mod.py": """
+        import os
+
+        def seed(derive_seed):
+            derive_seed(os.urandom(8))
+    """})
+
+
+def test_dt005_hash_reaches_sink(tmp_path):
+    assert "DT005" in _rules(tmp_path, {"mod.py": """
+        def seed(derive_seed, name):
+            derive_seed(hash(name))
+    """})
+
+
+# ---------------------------------------------------------------------------
+# DT006 — set iteration order into a sink
+# ---------------------------------------------------------------------------
+
+
+def test_dt006_set_order_reaches_sink(tmp_path):
+    assert "DT006" in _rules(tmp_path, {"mod.py": """
+        def schedule(names):
+            pending = set(names)
+            order = list(pending)
+            iter_workload_chunks(order)
+    """})
+
+
+def test_dt006_sorted_set_is_clean(tmp_path):
+    assert _rules(tmp_path, {"mod.py": """
+        def schedule(names):
+            pending = set(names)
+            order = sorted(pending)
+            iter_workload_chunks(order)
+    """}) == set()
+
+
+# ---------------------------------------------------------------------------
+# DT010 — taint forwarded through a call into a sink
+# ---------------------------------------------------------------------------
+
+
+def test_dt010_forwarded_through_callee(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        import time
+
+        def arm(value):
+            FaultSpec(value)
+
+        def trigger():
+            arm(time.time())
+    """}) if f.rule == "DT010"]
+    assert len(findings) == 1
+    assert "forwarded" in findings[0].message
+
+
+def test_dt010_clean_when_argument_is_constant(tmp_path):
+    assert _rules(tmp_path, {"mod.py": """
+        def arm(value):
+            FaultSpec(value)
+
+        def trigger():
+            arm(17)
+    """}) == set()
+
+
+# ---------------------------------------------------------------------------
+# the real repo is clean
+# ---------------------------------------------------------------------------
+
+
+def test_repo_has_no_determinism_findings():
+    assert check_determinism() == []
