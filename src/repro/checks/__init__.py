@@ -1,6 +1,6 @@
 """Static-analysis subsystem: prove T3's invariants without running them.
 
-Ten analyzers behind one driver (``repro-t3 check``):
+Eleven analyzers behind one driver (``repro-t3 check``):
 
 * :mod:`~repro.checks.codegen_verify` — parse generated C back into a
   tree structure and verify structural equivalence with the trained
@@ -29,7 +29,12 @@ Ten analyzers behind one driver (``repro-t3 check``):
   swallowed (``EX...``),
 * :mod:`~repro.checks.resources` — must-release analysis over
   exception edges for locks, futures, pools, handles, and breaker
-  probe slots (``RS...``).
+  probe slots (``RS...``),
+* :mod:`~repro.checks.hotpath` — interprocedural cost summaries
+  propagated from configurable hot roots: per-element FFI round-trips,
+  accumulating allocation, per-item process fan-out, blocking under
+  locks, and hoistable loop-invariant work on the predict/featurize
+  paths (``HP...``).
 
 Shared infrastructure lives in :mod:`~repro.checks.astutils` (AST
 loading and navigation helpers), :mod:`~repro.checks.cfg`
@@ -60,7 +65,12 @@ from .findings import (
     update_baseline,
     write_baseline,
 )
-from .interproc import compute_raises_summaries, compute_taint_summaries
+from .hotpath import check_hotpath
+from .interproc import (
+    compute_cost_summaries,
+    compute_raises_summaries,
+    compute_taint_summaries,
+)
 from .lint import check_lint
 from .plan_invariants import check_plan_invariants
 from .resources import check_resource_lifecycles
@@ -84,10 +94,12 @@ __all__ = [
     "check_determinism",
     "check_exception_contracts",
     "check_feature_schema",
+    "check_hotpath",
     "check_lint",
     "check_lock_discipline",
     "check_plan_invariants",
     "check_resource_lifecycles",
+    "compute_cost_summaries",
     "compute_raises_summaries",
     "compute_taint_summaries",
     "forward_dataflow",

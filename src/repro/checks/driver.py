@@ -32,6 +32,7 @@ from .findings import (
     render_json,
     render_text,
 )
+from .hotpath import check_hotpath
 from .lint import check_lint
 from .plan_invariants import check_plan_invariants
 from .resources import check_resource_lifecycles
@@ -97,6 +98,17 @@ RULES: Dict[str, str] = {
     "FS004": "persisted model n_features mismatch",
     "FS005": "declared (operator, stage) pair the engine never produces",
     "FS006": "duplicate feature within one stage declaration",
+    "HP000": "hot-path cost analyzer could not run",
+    "HP001": "per-element ctypes/FFI round-trip on a hot path",
+    "HP002": "accumulating whole-array allocation inside a hot loop",
+    "HP003": "per-item submission across a process boundary in a hot loop",
+    "HP004": "blocking IO/subprocess/sleep while holding a lock on a hot path",
+    "HP005": "loop-invariant pure call re-evaluated inside a hot loop",
+    "HP006": "loop-invariant label/f-string formatting inside a hot loop",
+    "HP007": "exception-as-control-flow per iteration in a hot loop",
+    "HP008": "O(n) list membership test inside a hot loop",
+    "HP009": "loop-invariant attribute chain re-resolved inside a hot loop",
+    "HP010": "known-slow stdlib call (pickle/re.compile/json) on a hot path",
     "LK000": "concurrency checker could not run",
     "LK001": "attribute guarded elsewhere but accessed with no lock held",
     "LK002": "shared mutable attribute never accessed under a lock",
@@ -263,11 +275,13 @@ ANALYZERS: Dict[str, Tuple[str, Callable[[CheckOptions], List[Finding]]]] = {
     "determinism": ("DT", lambda opts: check_determinism()),
     "exceptions": ("EX", lambda opts: check_exception_contracts()),
     "resources": ("RS", lambda opts: check_resource_lifecycles()),
+    "hotpath": ("HP", lambda opts: check_hotpath()),
 }
 
 #: analyzers whose first step is building the shared call graph; a
 #: parallel run warms the graph cache once before dispatching them.
-_INTERPROCEDURAL = frozenset({"determinism", "exceptions", "resources"})
+_INTERPROCEDURAL = frozenset({"determinism", "exceptions", "resources",
+                              "hotpath"})
 
 
 def _selected_analyzers(rules: Optional[Sequence[str]],

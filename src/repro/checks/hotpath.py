@@ -1,0 +1,850 @@
+"""Interprocedural hot-path cost analyzer (HP rules).
+
+The correctness analyzers (DT/EX/RS/LK/...) prove the system does the
+right thing; this one proves it does the right thing *fast enough to
+matter*. T3's usefulness hinges on prediction latency (the paper's
+22 µs → 4 µs headline), and the roadmap names two standing perf debts —
+one ctypes FFI round-trip per prediction in ``treecomp`` (item 2) and
+per-task pickling in ``repro.parallel`` (item 5). Every HP rule below
+detects one of those shapes, or a close cousin, statically.
+
+The engine: :func:`~repro.checks.interproc.compute_cost_summaries`
+computes a bottom-up fixpoint of per-function **cost summaries**
+(FFI/pickle/IO/subprocess effects, loop-nest depth, per-iteration
+allocation) over the shared call graph. A configurable set of **hot
+roots** — the serving predict chain, the micro-batcher, featurization
+fill, the treecomp predict entry points, and the process-pool fan-out —
+seeds a forward reachability pass; rules only fire inside functions a
+hot root can reach, so cold setup code (training, CLI, compilation)
+never produces noise. Roots live in ``checks_baseline.toml`` under
+``[hotpath]``, next to the suppressions::
+
+    [hotpath]
+    roots = ["PredictionService.predict", "process_map"]
+    per_element_roots = ["CompiledTreeModel.predict_one"]
+
+``per_element_roots`` are entry points *called once per element* by
+their callers; a single FFI or pickle call in one costs a round-trip
+per prediction even with no loop in sight.
+
+Rules
+-----
+HP001  per-element ctypes/FFI round-trip on a hot path (ROADMAP item 2)
+HP002  accumulating whole-array allocation in a hot loop (the PR 4
+       histogram-temporaries shape)
+HP003  per-item submission across a process boundary in a hot loop
+       (ROADMAP item 5)
+HP004  blocking IO/subprocess/sleep while holding a lock on a hot path
+       (must-held lock dataflow from :mod:`.cfg`, callee effects from
+       the cost summaries)
+HP005  loop-invariant pure call hoistable out of a hot loop
+HP006  loop-invariant f-string parts / eager logging format in a hot
+       loop (precompute the label outside)
+HP007  exception-as-control-flow per iteration (try/except as lookup)
+HP008  membership test against a list inside a hot loop (use a set)
+HP009  the same loop-invariant attribute chain resolved repeatedly in
+       one hot loop (hoist it into a local)
+HP010  known-slow stdlib call (pickle / re.compile / json) per element
+       on a hot path
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..errors import CheckError
+from .astutils import dotted_name
+from .callgraph import CallGraph, FunctionInfo, build_call_graph
+from .cfg import build_cfg, forward_dataflow
+# The must-held lock machinery is concurrency.py's; HP004 reuses it
+# rather than re-deriving lock discovery and transfer semantics.
+from .concurrency import _class_locks, _make_transfer
+from .findings import Finding, Severity, _parse_toml
+from .interproc import (
+    COST_EFFECTS,
+    CostSummary,
+    classify_cost_effect,
+    collect_ffi_attrs,
+    compute_cost_summaries,
+    handler_type_names,
+)
+
+__all__ = [
+    "DEFAULT_HOT_ROOTS",
+    "DEFAULT_PER_ELEMENT_ROOTS",
+    "check_hotpath",
+    "load_hot_root_config",
+]
+
+#: Mirrors ``driver.DEFAULT_BASELINE_NAME`` (the driver imports this
+#: module, so importing back would be circular).
+_CONFIG_NAME = "checks_baseline.toml"
+
+#: Built-in hot roots, used when no ``[hotpath]`` config is present.
+#: Keep in sync with the ``[hotpath]`` section of
+#: ``checks_baseline.toml`` — the config is authoritative for repo runs.
+DEFAULT_HOT_ROOTS: Tuple[str, ...] = (
+    # serving request path
+    "PredictionService.predict",
+    "PredictionService.predict_many",
+    "MicroBatcher._evaluate",
+    # metrics scrape path (rendered per Prometheus poll)
+    "MetricsRegistry.render",
+    "Counter.render",
+    "Gauge.render",
+    "Histogram.render",
+    # featurization fill
+    "FeatureRegistry.fill_matrix",
+    # model inference entry points (batch)
+    "T3Model.predict_raw_batch",
+    "CompiledTreeModel.predict",
+    "PythonScalarModel.predict",
+    # process fan-out and its workers
+    "process_map",
+    "_build_chunk",
+)
+
+#: Entry points invoked once per element by their callers.
+DEFAULT_PER_ELEMENT_ROOTS: Tuple[str, ...] = (
+    "CompiledTreeModel.predict_one",
+    "T3Model.predict_raw_one",
+    "PythonScalarModel.predict_one",
+)
+
+_SLOW_STDLIB_TAGS = frozenset({"pickle", "re-compile", "json"})
+_BLOCKING_TAGS = frozenset({"sleep", "subprocess", "io"})
+
+#: Pure builtins worth hoisting when every argument is loop-invariant.
+_PURE_CALLS = frozenset({
+    "len", "min", "max", "sum", "abs", "float", "int", "str", "bool",
+    "round", "repr", "tuple", "frozenset",
+    "math.sqrt", "math.log", "math.exp", "math.floor", "math.ceil",
+})
+
+#: Exception types whose catch-and-discard in a loop is a lookup in
+#: disguise (use ``.get()`` / a membership test instead).
+_LOOKUP_ERRORS = frozenset({
+    "KeyError", "IndexError", "AttributeError", "StopIteration",
+    "ValueError", "TypeError",
+})
+
+#: Constructors whose handles ship work across a process boundary.
+_PROCESS_POOLS = frozenset({"ProcessPoolExecutor", "Pool"})
+
+_LOG_METHODS = frozenset({"debug", "info", "warning", "error",
+                          "exception", "critical"})
+
+
+# -- configuration -----------------------------------------------------------
+
+
+def load_hot_root_config(config_path: Optional[Union[str, Path]] = None
+                         ) -> Tuple[List[str], List[str]]:
+    """Hot-root patterns from the ``[hotpath]`` config section.
+
+    Reads ``checks_baseline.toml`` (or ``config_path``); a missing file
+    or section falls back to the built-in defaults. Patterns are
+    matched against function qnames: ``"Class.method"`` and
+    ``"module:Class.method"`` match exactly, a bare name matches every
+    function with that simple name.
+    """
+    path = Path(config_path) if config_path is not None \
+        else Path(_CONFIG_NAME)
+    if not path.exists():
+        return list(DEFAULT_HOT_ROOTS), list(DEFAULT_PER_ELEMENT_ROOTS)
+    data = _parse_toml(path.read_text(), str(path))
+    section = data.get("hotpath", {})
+    if not isinstance(section, dict):
+        raise CheckError(
+            f"invalid hot-root config in {path}: [hotpath] must be a table")
+    roots = section.get("roots", list(DEFAULT_HOT_ROOTS))
+    per_element = section.get("per_element_roots",
+                              list(DEFAULT_PER_ELEMENT_ROOTS))
+    for key, value in (("roots", roots),
+                       ("per_element_roots", per_element)):
+        if not (isinstance(value, list)
+                and all(isinstance(item, str) for item in value)):
+            raise CheckError(
+                f"invalid hot-root config in {path}: hotpath.{key} "
+                "must be an array of strings")
+    return list(roots), list(per_element)
+
+
+def _matches(pattern: str, info: FunctionInfo) -> bool:
+    if ":" in pattern:
+        return info.qname == pattern
+    if "." in pattern:
+        return info.qname.endswith(f":{pattern}")
+    return info.name == pattern
+
+
+def _match_roots(graph: CallGraph,
+                 patterns: Sequence[str]) -> Dict[str, str]:
+    """qname -> the root pattern that selected it."""
+    out: Dict[str, str] = {}
+    for qname, info in graph.functions.items():
+        for pattern in patterns:
+            if _matches(pattern, info):
+                out.setdefault(qname, pattern)
+                break
+    return out
+
+
+def _hot_set(graph: CallGraph, roots: Dict[str, str]) -> Dict[str, str]:
+    """Forward reachability from the roots: qname -> seeding root."""
+    via: Dict[str, str] = dict(roots)
+    queue = list(roots)
+    while queue:
+        qname = queue.pop(0)
+        info = graph.functions.get(qname)
+        if info is None:
+            continue
+        for site in info.calls:
+            for callee in site.callees:
+                if callee not in via:
+                    via[callee] = via[qname]
+                    queue.append(callee)
+    return via
+
+
+# -- scope walking helpers ---------------------------------------------------
+
+
+def _walk_scope(nodes: Sequence[ast.AST]) -> Iterator[ast.AST]:
+    """BFS over descendants, staying out of nested def/class/lambda."""
+    queue: List[ast.AST] = list(nodes)
+    while queue:
+        node = queue.pop(0)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        queue.extend(ast.iter_child_nodes(node))
+
+
+def _store_names(nodes: Sequence[ast.AST]) -> Set[str]:
+    return {node.id for node in _walk_scope(nodes)
+            if isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Store)}
+
+
+def _mutated_chains(nodes: Sequence[ast.AST]) -> Set[str]:
+    """Dotted chains plausibly mutated per iteration.
+
+    Covers receivers of method calls (``in_tree.add``,
+    ``self._entries.popitem``) and attribute assignment targets —
+    rebinding alone misses container mutation, which would make
+    ``len(self._entries)`` in an eviction loop look hoistable. Bare
+    ``self``/``cls`` receivers are exempt: a self-method call rarely
+    invalidates reading an unrelated field, and treating it as a wild
+    write would silence every method body.
+    """
+    out: Set[str] = set()
+    for node in _walk_scope(nodes):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute):
+            chain = dotted_name(node.func.value)
+            if chain is not None and chain not in ("self", "cls"):
+                out.add(chain)
+        elif isinstance(node, ast.Attribute) \
+                and isinstance(node.ctx, (ast.Store, ast.Del)):
+            chain = dotted_name(node)
+            if chain is not None:
+                out.add(chain)
+    return out
+
+
+def _touches_mutated(chain: str, mutated: Set[str]) -> bool:
+    return any(chain == c or chain.startswith(f"{c}.")
+               or c.startswith(f"{chain}.") for c in mutated)
+
+
+@dataclass
+class _Loop:
+    """One per-iteration scope of a hot function."""
+
+    line: int
+    #: nodes evaluated once per iteration.
+    body: List[ast.AST]
+    #: names rebound per iteration — everything else is loop-invariant.
+    variant: Set[str]
+    #: dotted chains mutated per iteration (method-call receivers).
+    mutated: Set[str]
+    #: False for comprehensions (statement rules don't apply there).
+    is_statement_loop: bool
+
+    def is_invariant(self, node: ast.AST) -> bool:
+        """No per-iteration name, mutated chain, or call in ``node``."""
+        for child in _walk_scope([node]):
+            if isinstance(child, ast.Call):
+                return False
+            if isinstance(child, ast.Name):
+                # Exact match only: reading `self` stays invariant when
+                # `self._queue` is mutated, but `in_tree` does not once
+                # `in_tree.add` runs in-loop.
+                if child.id in self.variant or child.id in self.mutated:
+                    return False
+            elif isinstance(child, ast.Attribute):
+                chain = dotted_name(child)
+                if chain is not None \
+                        and _touches_mutated(chain, self.mutated):
+                    return False
+        return True
+
+
+def _loops_of(info: FunctionInfo) -> List[_Loop]:
+    loops: List[_Loop] = []
+    for node in info.own_statements():
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            body: List[ast.AST] = list(node.body)
+            variant = _store_names(body) | _store_names([node.target])
+            loops.append(_Loop(node.lineno, body, variant,
+                               _mutated_chains(body), True))
+        elif isinstance(node, ast.While):
+            body = list(node.body) + [node.test]
+            loops.append(_Loop(node.lineno, body, _store_names(body),
+                               _mutated_chains(body), True))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            body = []
+            if isinstance(node, ast.DictComp):
+                body.extend([node.key, node.value])
+            else:
+                body.append(node.elt)
+            targets: List[ast.AST] = []
+            for index, gen in enumerate(node.generators):
+                body.extend(gen.ifs)
+                if index > 0:
+                    body.append(gen.iter)
+                targets.append(gen.target)
+            variant = _store_names(body) | _store_names(targets)
+            loops.append(_Loop(node.lineno, body, variant,
+                               _mutated_chains(body), False))
+    return loops
+
+
+def _unconditional_calls(body: Sequence[ast.AST]) -> List[ast.Call]:
+    """Calls executed on every iteration (no branch/try/nested loop)."""
+    out: List[ast.Call] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda, ast.If, ast.IfExp,
+                             ast.Try, ast.For, ast.AsyncFor, ast.While,
+                             ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            return
+        if isinstance(node, ast.BoolOp):
+            visit(node.values[0])   # later operands may short-circuit
+            return
+        if isinstance(node, ast.Call):
+            out.append(node)
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for node in body:
+        visit(node)
+    return out
+
+
+# -- the per-function scan ---------------------------------------------------
+
+
+class _FunctionScan:
+    """All HP rule checks for one hot function."""
+
+    def __init__(self, graph: CallGraph, info: FunctionInfo,
+                 summaries: Dict[str, CostSummary],
+                 ffi_attrs: Dict[str, FrozenSet[str]],
+                 hot_via: str, per_element: bool):
+        self.graph = graph
+        self.info = info
+        self.summaries = summaries
+        cls_key = (f"{info.module}:{info.cls}"
+                   if info.cls is not None else "")
+        self.class_ffi = ffi_attrs.get(cls_key, frozenset())
+        self.hot_via = hot_via
+        self.per_element = per_element
+        self.findings: List[Finding] = []
+        self._callees: Dict[int, Tuple[str, ...]] = {
+            id(site.node): site.callees for site in info.calls}
+        self._pool_names = self._find_pool_names()
+        self._list_names = self._find_list_names()
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _label(self) -> str:
+        name = (f"{self.info.cls}.{self.info.name}"
+                if self.info.cls else self.info.name)
+        return f"{name}() (hot via {self.hot_via})"
+
+    def _emit(self, rule: str, severity: Severity, line: int,
+              message: str) -> None:
+        self.findings.append(Finding(rule, severity, self.info.rel_path,
+                                     line, message))
+
+    def _callee_effects(self, call: ast.Call) -> Dict[str, str]:
+        """effect tag -> callee qname, over every resolved callee."""
+        out: Dict[str, str] = {}
+        for qname in self._callees.get(id(call), ()):
+            summary = self.summaries.get(qname)
+            if summary is None:
+                continue
+            for tag in summary.effects:
+                out.setdefault(tag, qname)
+        return out
+
+    def _find_pool_names(self) -> Set[str]:
+        """Local names bound to a process-pool handle."""
+        names: Set[str] = set()
+
+        def pool_call(value: ast.expr) -> bool:
+            if not isinstance(value, ast.Call):
+                return False
+            name = dotted_name(value.func)
+            return (name is not None
+                    and name.split(".")[-1] in _PROCESS_POOLS)
+
+        for node in self.info.own_statements():
+            if isinstance(node, ast.Assign) and pool_call(node.value):
+                names |= _store_names(list(node.targets))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if pool_call(item.context_expr) \
+                            and item.optional_vars is not None:
+                        names |= _store_names([item.optional_vars])
+        return names
+
+    def _find_list_names(self) -> Set[str]:
+        """Local names assigned from list-producing expressions."""
+        names: Set[str] = set()
+        for node in self.info.own_statements():
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            value = node.value
+            is_list = isinstance(value, (ast.List, ast.ListComp))
+            if isinstance(value, ast.Call):
+                name = dotted_name(value.func)
+                is_list = name in ("list", "sorted")
+            if is_list:
+                names.add(node.targets[0].id)
+        return names
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        for loop in _loops_of(self.info):
+            self._scan_loop_calls(loop)
+            # HP006 is expression-level, so it applies inside
+            # comprehensions too; the statement rules below do not.
+            self._scan_hp006(loop)
+            if loop.is_statement_loop:
+                self._scan_hp002(loop)
+                self._scan_hp005(loop)
+                self._scan_hp007(loop)
+                self._scan_hp008(loop)
+                self._scan_hp009(loop)
+        if self.per_element:
+            self._scan_per_element()
+        self._scan_hp004()
+        self._scan_logging()
+        return self.findings
+
+    # -- HP001 / HP003 / HP010: calls per iteration --------------------------
+
+    def _scan_loop_calls(self, loop: _Loop) -> None:
+        for call in (n for n in _walk_scope(loop.body)
+                     if isinstance(n, ast.Call)):
+            tag = classify_cost_effect(call, self.class_ffi)
+            if tag == "ffi":
+                self._emit(
+                    "HP001", Severity.ERROR, call.lineno,
+                    f"{self._label()}: ctypes FFI round-trip inside a "
+                    f"loop — one native call per element; batch the "
+                    f"elements into a single FFI call")
+            elif tag in _SLOW_STDLIB_TAGS:
+                self._emit(
+                    "HP010", Severity.WARNING, call.lineno,
+                    f"{self._label()}: {COST_EFFECTS[tag]} inside a "
+                    f"loop — hoist it out or cache the result")
+            effects = self._callee_effects(call)
+            if tag != "ffi" and "ffi" in effects:
+                self._emit(
+                    "HP001", Severity.ERROR, call.lineno,
+                    f"{self._label()}: calls {effects['ffi']} inside a "
+                    f"loop, paying a ctypes FFI round-trip per element; "
+                    f"batch the elements into a single FFI call")
+            for slow in sorted(_SLOW_STDLIB_TAGS & set(effects)):
+                if slow == tag:
+                    continue
+                self._emit(
+                    "HP010", Severity.WARNING, call.lineno,
+                    f"{self._label()}: calls {effects[slow]} inside a "
+                    f"loop, paying {COST_EFFECTS[slow]} per element")
+            self._check_hp003(call)
+
+    def _check_hp003(self, call: ast.Call) -> None:
+        func = call.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in ("submit", "apply_async")):
+            return
+        receiver = func.value
+        if isinstance(receiver, ast.Name) \
+                and receiver.id in self._pool_names:
+            self._emit(
+                "HP003", Severity.ERROR, call.lineno,
+                f"{self._label()}: per-item {receiver.id}.{func.attr}() "
+                f"across a process boundary — each submission pays "
+                f"pickle + IPC; fan out chunks instead of items")
+
+    # -- HP002: accumulating allocation --------------------------------------
+
+    def _scan_hp002(self, loop: _Loop) -> None:
+        for node in _walk_scope(loop.body):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                target = node.targets[0].id
+                value = node.value
+                if isinstance(value, ast.Call) \
+                        and self._is_copy_allocator(value) \
+                        and self._name_in(target, value.args):
+                    self._emit(
+                        "HP002", Severity.ERROR, node.lineno,
+                        f"{self._label()}: {target} re-allocated by "
+                        f"{dotted_name(value.func)}() every iteration — "
+                        f"O(n²) copying; preallocate once and fill, or "
+                        f"collect parts and concatenate after the loop")
+                    continue
+                if isinstance(value, ast.BinOp) \
+                        and isinstance(value.op, ast.Add) \
+                        and self._name_in(target, [value.left,
+                                                   value.right]) \
+                        and any(isinstance(n, ast.List) for n in
+                                _walk_scope([value])):
+                    self._emit(
+                        "HP002", Severity.ERROR, node.lineno,
+                        f"{self._label()}: {target} = {target} + [...] "
+                        f"copies the whole list every iteration — "
+                        f"append in place instead")
+                    continue
+            if isinstance(node, ast.Call) \
+                    and self._is_copy_allocator(node):
+                name = dotted_name(node.func)
+                self._emit(
+                    "HP002", Severity.ERROR, node.lineno,
+                    f"{self._label()}: {name}() allocates a fresh array "
+                    f"copy every iteration — hoist it out of the loop "
+                    f"or preallocate")
+
+    @staticmethod
+    def _is_copy_allocator(call: ast.Call) -> bool:
+        name = dotted_name(call.func)
+        if name is None:
+            return False
+        parts = name.split(".")
+        return (len(parts) == 2 and parts[0] in ("np", "numpy")
+                and parts[1] in ("append", "concatenate", "vstack",
+                                 "hstack"))
+
+    @staticmethod
+    def _name_in(name: str, nodes: Sequence[ast.AST]) -> bool:
+        return any(isinstance(n, ast.Name) and n.id == name
+                   for n in _walk_scope(list(nodes)))
+
+    # -- HP005: loop-invariant pure calls ------------------------------------
+
+    def _scan_hp005(self, loop: _Loop) -> None:
+        for call in _unconditional_calls(loop.body):
+            name = dotted_name(call.func)
+            if name is None or name not in _PURE_CALLS:
+                continue
+            if call.keywords or not call.args:
+                continue
+            if all(loop.is_invariant(arg) for arg in call.args):
+                self._emit(
+                    "HP005", Severity.WARNING, call.lineno,
+                    f"{self._label()}: {name}() has loop-invariant "
+                    f"arguments but runs every iteration — hoist it "
+                    f"out of the loop")
+
+    # -- HP006: label formatting per iteration -------------------------------
+
+    def _scan_hp006(self, loop: _Loop) -> None:
+        skip = self._failure_path_nodes(loop.body)
+        for node in _walk_scope(loop.body):
+            if not isinstance(node, ast.JoinedStr) or id(node) in skip:
+                continue
+            parts = [part for part in node.values
+                     if isinstance(part, ast.FormattedValue)]
+            if not parts:
+                continue
+            invariant = [part for part in parts
+                         if loop.is_invariant(part.value)]
+            if len(invariant) == len(parts):
+                self._emit(
+                    "HP006", Severity.WARNING, node.lineno,
+                    f"{self._label()}: f-string is entirely "
+                    f"loop-invariant but re-formats every iteration — "
+                    f"build it once outside the loop")
+            elif any(isinstance(part.value, ast.Attribute)
+                     for part in invariant):
+                # An invariant *attribute chain* formatted per
+                # iteration (the `self.name` metric-label shape);
+                # plain invariant locals mixed into a varying string
+                # are left alone — there is nothing cheaper to hoist.
+                self._emit(
+                    "HP006", Severity.WARNING, node.lineno,
+                    f"{self._label()}: loop-invariant attribute "
+                    f"re-resolved and re-formatted every iteration — "
+                    f"precompute the label prefix outside the loop")
+
+    @staticmethod
+    def _failure_path_nodes(body: Sequence[ast.AST]) -> Set[int]:
+        """ids of nodes only evaluated on raise/assert-failure paths."""
+        out: Set[int] = set()
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                out.update(id(n) for n in _walk_scope([node.exc]))
+            elif isinstance(node, ast.Assert) and node.msg is not None:
+                out.update(id(n) for n in _walk_scope([node.msg]))
+        return out
+
+    # -- HP007: exception-as-control-flow ------------------------------------
+
+    def _scan_hp007(self, loop: _Loop) -> None:
+        for node in _walk_scope(loop.body):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                caught = set(handler_type_names(handler))
+                if not (caught & _LOOKUP_ERRORS):
+                    continue
+                if self._is_trivial_handler(handler.body):
+                    self._emit(
+                        "HP007", Severity.WARNING, node.lineno,
+                        f"{self._label()}: try/except "
+                        f"{'/'.join(sorted(caught & _LOOKUP_ERRORS))} "
+                        f"as per-iteration control flow — exception "
+                        f"setup costs more than a .get()/membership "
+                        f"check on the hot path")
+                    break
+
+    @staticmethod
+    def _is_trivial_handler(body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Assign) \
+                    and isinstance(stmt.value, ast.Constant):
+                continue
+            return False
+        return True
+
+    # -- HP008: list membership in a loop ------------------------------------
+
+    def _scan_hp008(self, loop: _Loop) -> None:
+        for node in _walk_scope(loop.body):
+            if not isinstance(node, ast.Compare):
+                continue
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.In, ast.NotIn)):
+                    continue
+                if isinstance(comparator, ast.Name) \
+                        and comparator.id in self._list_names \
+                        and comparator.id not in loop.variant:
+                    self._emit(
+                        "HP008", Severity.WARNING, node.lineno,
+                        f"{self._label()}: membership test against "
+                        f"list {comparator.id!r} every iteration — "
+                        f"O(n) per probe; build a set once outside "
+                        f"the loop")
+
+    # -- HP009: repeated attribute-chain resolution --------------------------
+
+    def _scan_hp009(self, loop: _Loop) -> None:
+        nodes = list(_walk_scope(loop.body))
+        call_funcs = {id(n.func) for n in nodes
+                      if isinstance(n, ast.Call)}
+        inner = {id(n.value) for n in nodes
+                 if isinstance(n, ast.Attribute)
+                 and isinstance(n.value, ast.Attribute)}
+        counts: Dict[str, List[int]] = {}
+        for node in nodes:
+            if not isinstance(node, ast.Attribute) \
+                    or not isinstance(node.ctx, ast.Load) \
+                    or id(node) in inner or id(node) in call_funcs:
+                continue
+            chain = dotted_name(node)
+            if chain is None:
+                continue
+            root = chain.split(".", 1)[0]
+            if root in loop.variant:
+                continue
+            if _touches_mutated(chain, loop.mutated):
+                continue   # the chain (or a prefix) is written in-loop
+            counts.setdefault(chain, []).append(node.lineno)
+        for chain, lines in counts.items():
+            depth = chain.count(".")
+            if (depth >= 2 and len(lines) >= 3) \
+                    or (depth == 1 and len(lines) >= 4):
+                self._emit(
+                    "HP009", Severity.WARNING, lines[0],
+                    f"{self._label()}: {chain} resolved {len(lines)} "
+                    f"times in one loop — {depth + 1} dict lookups per "
+                    f"use; hoist it into a local before the loop")
+
+    # -- per-element roots: HP001/HP010 without a loop -----------------------
+
+    def _scan_per_element(self) -> None:
+        ffi_lines: List[int] = []
+        slow_lines: Dict[str, List[int]] = {}
+        for node in self.info.own_statements():
+            if not isinstance(node, ast.Call):
+                continue
+            tag = classify_cost_effect(node, self.class_ffi)
+            if tag == "ffi":
+                ffi_lines.append(node.lineno)
+            elif tag in _SLOW_STDLIB_TAGS:
+                slow_lines.setdefault(tag, []).append(node.lineno)
+        if ffi_lines:
+            count = len(set(ffi_lines))
+            self._emit(
+                "HP001", Severity.ERROR, min(ffi_lines),
+                f"{self._label()}: per-element entry point pays "
+                f"{count} ctypes FFI round-trip(s) per prediction — "
+                f"route bulk work through the batch entry point")
+        for tag, lines in sorted(slow_lines.items()):
+            self._emit(
+                "HP010", Severity.WARNING, min(lines),
+                f"{self._label()}: per-element entry point pays "
+                f"{COST_EFFECTS[tag]} per prediction — cache or batch "
+                f"it")
+
+    # -- HP004: blocking while holding a lock --------------------------------
+
+    def _scan_hp004(self) -> None:
+        if self.info.cls is None:
+            return
+        module = self.graph.modules.get(self.info.module)
+        if module is None:
+            return
+        cls_node = module.classes.get(self.info.cls)
+        if cls_node is None:
+            return
+        locks = _class_locks(cls_node)
+        if not locks:
+            return
+        cfg = build_cfg(self.info.node)
+        transfer = _make_transfer(locks)
+        must = forward_dataflow(cfg, transfer, frozenset(),
+                                lambda a, b: a & b)
+        for block in cfg.blocks:
+            state = must[block.index]
+            for event in block.events:
+                if state and isinstance(event, ast.AST):
+                    held = ", ".join(f"self.{name}"
+                                     for name in sorted(state))
+                    self._blocking_in_event(event, held)
+                state = transfer(state, event)
+
+    def _blocking_in_event(self, event: ast.AST, held: str) -> None:
+        for call in (n for n in _walk_scope([event])
+                     if isinstance(n, ast.Call)):
+            tag = classify_cost_effect(call, self.class_ffi)
+            if tag in _BLOCKING_TAGS:
+                self._emit(
+                    "HP004", Severity.ERROR, call.lineno,
+                    f"{self._label()}: {COST_EFFECTS[tag]} while "
+                    f"holding {held} — every hot-path caller "
+                    f"contending for the lock stalls behind it")
+                continue
+            effects = self._callee_effects(call)
+            for blocking in sorted(_BLOCKING_TAGS & set(effects)):
+                self._emit(
+                    "HP004", Severity.ERROR, call.lineno,
+                    f"{self._label()}: calls {effects[blocking]} "
+                    f"(which performs {COST_EFFECTS[blocking]}) while "
+                    f"holding {held} — move the slow work outside "
+                    f"the lock")
+                break
+
+    # -- HP006 (function-wide): eager logging format -------------------------
+
+    def _scan_logging(self) -> None:
+        for call in (n for n in _walk_scope(list(self.info.node.body))
+                     if isinstance(n, ast.Call)):
+            func = call.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in _LOG_METHODS):
+                continue
+            receiver = dotted_name(func.value)
+            if receiver is None \
+                    or "log" not in receiver.rsplit(".", 1)[-1].lower():
+                continue
+            if any(isinstance(arg, ast.JoinedStr) for arg in call.args):
+                self._emit(
+                    "HP006", Severity.WARNING, call.lineno,
+                    f"{self._label()}: {receiver}.{func.attr}(f\"...\") "
+                    f"formats eagerly even when the level is disabled — "
+                    f"use lazy %-style arguments on the hot path")
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def check_hotpath(roots: Optional[Sequence[Union[str, Path]]] = None,
+                  config_path: Optional[Union[str, Path]] = None,
+                  hot_roots: Optional[Sequence[str]] = None,
+                  per_element_roots: Optional[Sequence[str]] = None
+                  ) -> List[Finding]:
+    """Run HP001–HP010 over the corpus under ``roots``.
+
+    ``hot_roots``/``per_element_roots`` override the ``[hotpath]``
+    config section (used by tests with synthetic corpora); ``roots``
+    selects the source tree (default: the installed ``repro`` package).
+    """
+    if hot_roots is None or per_element_roots is None:
+        config_roots, config_per_element = load_hot_root_config(config_path)
+        if hot_roots is None:
+            hot_roots = config_roots
+        if per_element_roots is None:
+            per_element_roots = config_per_element
+
+    graph = build_call_graph(roots=roots)
+    summaries = compute_cost_summaries(graph)
+    ffi_attrs = collect_ffi_attrs(graph)
+
+    root_map = _match_roots(graph, list(hot_roots))
+    per_element_map = _match_roots(graph, list(per_element_roots))
+    for qname, pattern in per_element_map.items():
+        root_map.setdefault(qname, pattern)
+    hot_via = _hot_set(graph, root_map)
+
+    findings: List[Finding] = []
+    for qname in sorted(hot_via):
+        info = graph.functions[qname]
+        findings.extend(_FunctionScan(
+            graph, info, summaries, ffi_attrs, hot_via[qname],
+            per_element=qname in per_element_map).run())
+
+    deduped: Dict[Tuple[str, str, int], Finding] = {}
+    for finding in findings:
+        deduped.setdefault((finding.rule, finding.path, finding.line),
+                           finding)
+    return sorted(deduped.values(),
+                  key=lambda f: (f.path, f.line, f.rule))

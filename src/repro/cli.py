@@ -14,7 +14,8 @@ Subcommands cover the library's end-to-end workflow:
 * ``serve``     — run the online prediction service (HTTP),
 * ``check``     — run the static-analysis suite (codegen verifier,
   feature-schema drift, plan invariants, ensemble analysis,
-  concurrency checking, project lint).
+  concurrency checking, project lint, determinism taint, exception
+  contracts, resource lifecycles, hot-path cost analysis).
 
 Example session::
 

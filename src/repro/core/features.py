@@ -260,6 +260,7 @@ class FeatureRegistry:
         op = flow.ref.operator
         stage = flow.ref.stage
         expr: Optional[Dict[str, float]] = None
+        tuples_in = flow.tuples_in
         values: List[float] = []
         for suffix in declared:
             if suffix == "in_card":
@@ -268,16 +269,16 @@ class FeatureRegistry:
                 elif isinstance(op, PIndexNLJoin):
                     values.append(float(op.inner_rows_hint))
                 else:
-                    values.append(flow.tuples_in)
+                    values.append(tuples_in)
             elif suffix == "in_size":
                 if isinstance(op, PTableScan):
                     values.append(float(op.scan_byte_width))
                 else:
                     values.append(float(flow.stored_byte_width))
             elif suffix == "in_percentage":
-                values.append(flow.tuples_in / start)
+                values.append(tuples_in / start)
             elif suffix == "right_percentage":
-                values.append(flow.tuples_in / start)
+                values.append(tuples_in / start)
             elif suffix == "out_percentage":
                 values.append(flow.tuples_out / start)
             elif suffix == "out_card":
@@ -294,10 +295,10 @@ class FeatureRegistry:
                 else:
                     values.append(0.0)
             elif suffix == "n_operations":
-                values.append(float(op.n_operations) * (flow.tuples_in / start))
+                values.append(float(op.n_operations) * (tuples_in / start))
             elif suffix == "expr_weight":
                 weight = sum(p.evaluation_cost_weight() for p in op.predicates)
-                values.append(weight * (flow.tuples_in / start))
+                values.append(weight * (tuples_in / start))
             elif suffix.startswith("expr_"):
                 if expr is None:
                     expr = self._expression_percentages(op, start, model)

@@ -94,6 +94,9 @@ def _build_query(builder: BenchmarkQueryBuilder, blocks: Tuple[str, ...],
                             float(rng.uniform(0.02, 0.3))))
     scans: List[Tuple[str, LogicalNode]] = [
         ("title", builder.scan("title", title_predicates))]
+    keyword_pattern = f"kw{variant}"
+    note_pattern = f"note{variant}"
+    info_pattern = f"mi{variant}"
 
     for block_name in blocks:
         for table in _block_tables(block_name):
@@ -104,7 +107,7 @@ def _build_query(builder: BenchmarkQueryBuilder, blocks: Tuple[str, ...],
             elif table == "keyword":
                 predicates.append(builder.like(
                     "keyword", "keyword", float(rng.uniform(0.0005, 0.02)),
-                    f"kw{variant}"))
+                    keyword_pattern))
             elif table == "info_type":
                 predicates.append(builder.eq(
                     "info_type", "info", float(rng.uniform(0.05, 0.95))))
@@ -118,11 +121,11 @@ def _build_query(builder: BenchmarkQueryBuilder, blocks: Tuple[str, ...],
             elif table == "movie_companies" and rng.random() < 0.4:
                 predicates.append(builder.like(
                     "movie_companies", "note", float(rng.uniform(0.005, 0.1)),
-                    f"note{variant}"))
+                    note_pattern))
             elif table == "movie_info" and rng.random() < 0.5:
                 predicates.append(builder.like(
                     "movie_info", "info", float(rng.uniform(0.001, 0.05)),
-                    f"mi{variant}"))
+                    info_pattern))
             scans.append((table, builder.scan(table, predicates)))
 
     plan = _connect(builder, scans)

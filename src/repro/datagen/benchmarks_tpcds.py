@@ -193,8 +193,9 @@ def tpcds_queries(instance: Instance = None) -> List[NamedQuery]:
     instance = instance or get_instance("tpcds_sf1")
     builder = BenchmarkQueryBuilder(instance)
     queries: List[NamedQuery] = []
+    n_templates = len(_TEMPLATES)
     for index in range(N_QUERIES):
-        template = _TEMPLATES[index % len(_TEMPLATES)]
+        template = _TEMPLATES[index % n_templates]
         rng = derive_rng(0xD5, "tpcds", index)
         queries.append((f"tpcds_q{index + 1}", template(builder, rng)))
     return queries

@@ -296,8 +296,9 @@ class RandomQueryGenerator:
                      AggregateFunction.MAX, AggregateFunction.AVG]
         if numeric:
             extra = int(rng.integers(1, 4))
+            n_functions = len(functions)
             for _ in range(extra):
-                function = functions[int(rng.integers(len(functions)))]
+                function = functions[int(rng.integers(n_functions))]
                 column = str(rng.choice(numeric))
                 aggregates.append(Aggregate(function, column))
         return aggregates

@@ -149,9 +149,10 @@ class WorkloadBuilder:
         else:
             return []
         queries: List[BenchmarkedQuery] = []
+        prefix = f"{self.instance.name}/"
         for name, logical in named:
             queries.append(self.benchmark_logical(
-                logical, f"{self.instance.name}/{name}", FIXED_GROUP))
+                logical, prefix + name, FIXED_GROUP))
         return queries
 
     def build(self) -> List[BenchmarkedQuery]:

@@ -95,7 +95,8 @@ def tokenize(sql: str) -> List[Token]:
     """Split SQL text into tokens; raises :class:`SQLError` on garbage."""
     tokens: List[Token] = []
     position = 0
-    while position < len(sql):
+    length = len(sql)
+    while position < length:
         match = _TOKEN_RE.match(sql, position)
         if match is None:
             remainder = sql[position:].strip()
@@ -510,7 +511,8 @@ class SQLBinder:
         remaining = list(joins)
         in_tree = {tables[0]}
         plan: LogicalNode = scans[tables[0]]
-        while len(in_tree) < len(tables):
+        n_tables = len(tables)
+        while len(in_tree) < n_tables:
             progress = False
             for edge in list(remaining):
                 if edge.left_table in in_tree and edge.right_table not in in_tree:
@@ -549,10 +551,11 @@ class SQLBinder:
                 table, column = self._resolve(item.column, tables)
                 aggregates.append(Aggregate(function, f"{table}.{column}"))
         # Plain columns in SELECT must be grouped.
+        grouped = set(group_columns)
         for item in statement.items:
             if item.aggregate is None and not item.star and item.column:
                 resolved = self._resolve(item.column, tables)
-                if resolved not in group_columns:
+                if resolved not in grouped:
                     raise SQLError(
                         f"column {item.column!r} must appear in GROUP BY")
         return LogicalGroupBy(plan, group_columns, aggregates)

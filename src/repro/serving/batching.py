@@ -202,6 +202,8 @@ class MicroBatcher:
     def _drain_pending(self) -> None:
         """Fail every request still queued with a typed error."""
         drained = 0
+        message = (f"batcher {self.name!r} closed before the request "
+                   "was evaluated")
         while True:
             try:
                 item = self._queue.get_nowait()
@@ -209,9 +211,7 @@ class MicroBatcher:
                 break
             if item is _SHUTDOWN:
                 continue
-            _try_set_exception(item.future, ServiceClosedError(
-                f"batcher {self.name!r} closed before the request "
-                "was evaluated"))
+            _try_set_exception(item.future, ServiceClosedError(message))
             drained += 1
         if drained:
             with self._stats_lock:

@@ -103,6 +103,11 @@ class Histogram:
         if not self.bounds:
             raise ConfigurationError("histogram needs at least one bucket")
         self._counts = [0] * (len(self.bounds) + 1)  # last = +Inf
+        # Bucket label text never changes after construction; rendering
+        # a scrape only appends the cumulative count to each prefix.
+        self._bucket_labels = tuple(
+            f'{name}_bucket{{le="{_format(bound)}"}} '
+            for bound in self.bounds) + (f'{name}_bucket{{le="+Inf"}} ',)
         self._sum = 0.0
         self._count = 0
         self._lock = threading.Lock()
@@ -158,12 +163,10 @@ class Histogram:
         lines.append(f"# TYPE {self.name} histogram")
         with self._lock:
             cumulative = 0
-            for bound, bucket_count in zip(self.bounds, self._counts):
+            for label, bucket_count in zip(self._bucket_labels,
+                                           self._counts):
                 cumulative += bucket_count
-                lines.append(f'{self.name}_bucket{{le="{_format(bound)}"}} '
-                             f"{cumulative}")
-            cumulative += self._counts[-1]
-            lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(label + str(cumulative))
             lines.append(f"{self.name}_sum {_format(self._sum)}")
             lines.append(f"{self.name}_count {self._count}")
         return lines

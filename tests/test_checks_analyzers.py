@@ -9,6 +9,7 @@ modules.)
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -138,13 +139,17 @@ def test_baseline_load_missing_file_is_typed_error(tmp_path):
 # ---------------------------------------------------------------------------
 
 def test_run_checks_repo_is_clean():
-    report = run_checks()
+    # The repo baseline grandfathers exactly the two ROADMAP perf debts
+    # (HP001 treecomp FFI-per-prediction, HP003 per-task fan-out).
+    baseline = Path(__file__).resolve().parents[1] / "checks_baseline.toml"
+    report = run_checks(baseline=baseline)
     assert report.findings == []
     assert report.exit_code == 0
+    assert sorted(f.rule for f in report.suppressed) == ["HP001", "HP003"]
     assert set(report.analyzers_run) == {
         "codegen", "feature-schema", "plan-invariants", "ensemble",
         "concurrency", "lint", "responsiveness", "determinism",
-        "exceptions", "resources"}
+        "exceptions", "resources", "hotpath"}
     # CI's perf gate allows 10s for the whole suite including the
     # interprocedural pass; leave headroom for slow runners here.
     assert report.elapsed_seconds < 10.0

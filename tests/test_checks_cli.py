@@ -8,7 +8,7 @@ from repro.cli import main
 
 _ALL_ANALYZERS = {"codegen", "feature-schema", "plan-invariants",
                   "ensemble", "concurrency", "lint", "responsiveness",
-                  "determinism", "exceptions", "resources"}
+                  "determinism", "exceptions", "resources", "hotpath"}
 
 
 def _stale_model(tmp_path):
@@ -34,7 +34,11 @@ def test_check_sarif_format(capsys):
     assert main(["check", "--format", "sarif"]) == 0
     doc = json.loads(capsys.readouterr().out)
     assert doc["version"] == "2.1.0"
-    assert doc["runs"][0]["results"] == []
+    # The two baselined ROADMAP perf debts ride along as externally
+    # suppressed results; nothing else may appear.
+    results = doc["runs"][0]["results"]
+    assert sorted(r["ruleId"] for r in results) == ["HP001", "HP003"]
+    assert all(r["suppressions"][0]["kind"] == "external" for r in results)
     assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-t3-check"
 
 
@@ -54,7 +58,7 @@ def test_check_list_rules(capsys):
     out = capsys.readouterr().out
     for rule in ("CG001", "FS001", "LK001", "LK008", "PI001", "PI012",
                  "EA001", "EA010", "PL001", "DT001", "DT010", "EX001",
-                 "EX006", "RS001", "RS008"):
+                 "EX006", "RS001", "RS008", "HP001", "HP010"):
         assert rule in out
 
 
@@ -79,8 +83,15 @@ def test_check_jobs_flag(capsys):
 
 def test_check_warns_on_stale_suppression(tmp_path, capsys):
     baseline = tmp_path / "baseline.toml"
-    baseline.write_text('[[suppress]]\nrule = "PL004"\n'
-                        'path = "src/repro/nonexistent.py"\nline = 1\n')
+    baseline.write_text(
+        '[[suppress]]\nrule = "PL004"\n'
+        'path = "src/repro/nonexistent.py"\nline = 1\n'
+        # the two grandfathered ROADMAP perf debts must stay covered
+        # for the full run to exit 0
+        '[[suppress]]\nrule = "HP001"\n'
+        'path = "src/repro/treecomp/compiler.py"\n'
+        '[[suppress]]\nrule = "HP003"\n'
+        'path = "src/repro/parallel/executor.py"\n')
     assert main(["check", "--baseline", str(baseline)]) == 0
     out = capsys.readouterr().out
     assert "stale baseline suppression PL004" in out

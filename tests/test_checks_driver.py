@@ -26,7 +26,19 @@ from repro.checks.findings import (
     Suppression,
     update_baseline,
 )
+from repro.checks.hotpath import check_hotpath, load_hot_root_config
 from repro.errors import CheckError
+
+
+@pytest.fixture(autouse=True)
+def _quiet_hotpath(monkeypatch):
+    # The repo deliberately carries two baselined HP findings (the
+    # ROADMAP perf debts); these driver tests assert exact finding
+    # sets, so they run against a hotpath analyzer that reports
+    # nothing. The HP-specific driver tests below swap the real
+    # runner back in.
+    monkeypatch.setitem(driver_mod.ANALYZERS, "hotpath",
+                        ("HP", lambda opts: []))
 
 
 def _boom(opts):
@@ -209,3 +221,72 @@ def test_stale_detection_suppressed_on_filtered_runs():
                       only=["lint"]).stale_suppressions == []
     assert run_checks(baseline=loaded,
                       rules=["PL"]).stale_suppressions == []
+
+
+# ---------------------------------------------------------------------------
+# hotpath driver hygiene (--only hp, --jobs determinism, stale pruning)
+# ---------------------------------------------------------------------------
+
+#: The two grandfathered ROADMAP perf debts, in report order.
+_HP_DEBTS = [("HP003", "src/repro/parallel/executor.py"),
+             ("HP001", "src/repro/treecomp/compiler.py")]
+
+
+def _real_hotpath(monkeypatch):
+    """Swap the real analyzer back in over the autouse stub."""
+    monkeypatch.setitem(driver_mod.ANALYZERS, "hotpath",
+                        ("HP", lambda opts: check_hotpath()))
+
+
+@pytest.mark.parametrize("token", ["hp", "HP", "hotpath"])
+def test_only_selects_hotpath_by_name_and_prefix(monkeypatch, token):
+    _real_hotpath(monkeypatch)
+    report = run_checks(only=[token])
+    assert report.analyzers_run == ["hotpath"]
+    assert [(f.rule, f.path) for f in report.findings] == _HP_DEBTS
+    assert report.exit_code == EXIT_FINDINGS   # no baseline passed
+
+
+def test_hp_findings_deterministic_under_jobs(monkeypatch):
+    _real_hotpath(monkeypatch)
+    serial = run_checks(only=["hotpath", "determinism", "resources"])
+    parallel = run_checks(only=["hotpath", "determinism", "resources"],
+                          jobs=4)
+    assert parallel.analyzers_run == serial.analyzers_run
+    assert parallel.findings == serial.findings
+    assert [(f.rule, f.path) for f in serial.findings] == _HP_DEBTS
+
+
+def test_stale_hp_suppression_pruned_on_update(monkeypatch, tmp_path):
+    _real_hotpath(monkeypatch)
+    baseline_path = tmp_path / "baseline.toml"
+    baseline_path.write_text(
+        '[[suppress]]\nrule = "HP005"\n'
+        'path = "src/repro/gone.py"\nline = 1\n'
+        'reason = "fixed long ago"\n')
+    report = run_checks(only=["hotpath"])
+    kept, added, dropped = update_baseline(report.findings, baseline_path)
+    assert (kept, added, dropped) == (0, 2, 1)
+    assert "HP005" not in baseline_path.read_text()
+    assert run_checks(only=["hotpath"],
+                      baseline=baseline_path).exit_code == 0
+
+
+def test_hotpath_section_survives_baseline_update(monkeypatch, tmp_path):
+    # --update-baseline rewrites the suppression tables; the [hotpath]
+    # root declarations share the file and must come through verbatim.
+    monkeypatch.setitem(driver_mod.ANALYZERS, "lint", ("PL", _planted))
+    baseline_path = tmp_path / "baseline.toml"
+    baseline_path.write_text(
+        '[[suppress]]\nrule = "CG777"\nreason = "dead entry"\n'
+        '\n'
+        '[hotpath]\n'
+        'roots = ["Service.handle"]\n'
+        'per_element_roots = ["Model.predict_one"]\n')
+    kept, added, dropped = update_baseline(
+        run_checks().findings, baseline_path)
+    assert (kept, added, dropped) == (0, 1, 1)
+    text = baseline_path.read_text()
+    assert 'roots = ["Service.handle"]' in text
+    assert load_hot_root_config(baseline_path) == (
+        ["Service.handle"], ["Model.predict_one"])

@@ -1,0 +1,624 @@
+"""Hot-path cost analyzer (HP rules): planted defects and clean twins.
+
+Two seeded-mutation tests guard the roadmap's perf debts the way the
+RS006 oracle guards the PR 5 probe leak: one reintroduces the PR 4
+``_build_histogram`` O(rows x features) temporaries shape into a copy
+of the *real* ``trees/grow.py`` and asserts HP002 flags it; the other
+plants a per-row ``process_map`` submission variant and asserts HP003.
+The repo-level test pins ``check_hotpath()`` to exactly the two
+grandfathered findings ``checks_baseline.toml`` suppresses.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.checks.hotpath import (
+    DEFAULT_HOT_ROOTS,
+    DEFAULT_PER_ELEMENT_ROOTS,
+    check_hotpath,
+    load_hot_root_config,
+)
+from repro.errors import CheckError
+
+_REPO = Path(__file__).resolve().parents[1]
+_GROW_SOURCE = _REPO / "src" / "repro" / "trees" / "grow.py"
+
+
+def _findings(tmp_path, files, hot_roots=("hot",), per_element_roots=()):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return check_hotpath(roots=[tmp_path], hot_roots=list(hot_roots),
+                         per_element_roots=list(per_element_roots))
+
+
+def _rules(tmp_path, files, **kwargs):
+    return {f.rule for f in _findings(tmp_path, files, **kwargs)}
+
+
+_NATIVE = """
+    import ctypes
+
+    class Native:
+        def __init__(self, path):
+            self._lib = ctypes.CDLL(path)
+            self._eval = getattr(self._lib, "predict")
+
+        def hot(self, rows):
+            out = []
+            for row in rows:
+                out.append(self._eval(row))
+            return out
+
+        def batch(self, buffer):
+            return self._eval(buffer)
+
+        def one(self, row):
+            return self._eval(row)
+
+        def via_helper(self, rows):
+            return [self.one(row) for row in rows]
+    """
+
+
+# ---------------------------------------------------------------------------
+# hot-root gating (rules only fire where a root can reach)
+# ---------------------------------------------------------------------------
+
+
+def test_hp001_ffi_call_in_hot_loop(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": _NATIVE},
+                                     hot_roots=["Native.hot"])
+                if f.rule == "HP001"]
+    assert len(findings) == 1
+    assert "FFI round-trip" in findings[0].message
+    assert "hot via Native.hot" in findings[0].message
+
+
+def test_hp001_batched_ffi_call_is_clean(tmp_path):
+    assert _rules(tmp_path, {"mod.py": _NATIVE},
+                  hot_roots=["Native.batch"]) == set()
+
+
+def test_hp001_via_callee_summary(tmp_path):
+    # The loop itself is FFI-free; the effect arrives through the cost
+    # summary of the helper it calls per element.
+    findings = [f for f in _findings(tmp_path, {"mod.py": _NATIVE},
+                                     hot_roots=["Native.via_helper"])
+                if "via_helper" in f.message and f.rule == "HP001"]
+    assert len(findings) == 1
+    assert "per element" in findings[0].message
+
+
+def test_cold_functions_never_fire(tmp_path):
+    assert _rules(tmp_path, {"mod.py": _NATIVE},
+                  hot_roots=["no_such_root"]) == set()
+
+
+def test_hot_set_propagates_across_functions(tmp_path):
+    # `encode` is only hot because `serve` (the root) reaches it; the
+    # finding names the seeding root so triage starts from the entry
+    # point, not the leaf.
+    findings = _findings(tmp_path, {"app.py": """
+        import pickle
+
+        def encode(row):
+            return pickle.dumps(row)
+
+        def serve(rows):
+            return [encode(row) for row in rows]
+    """}, hot_roots=["serve"])
+    assert [f.rule for f in findings] == ["HP010"]
+    assert "hot via serve" in findings[0].message
+
+
+def test_hp001_per_element_entry_point(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": _NATIVE},
+                                     hot_roots=[],
+                                     per_element_roots=["Native.one"])
+                if f.rule == "HP001"]
+    assert len(findings) == 1
+    assert "per-element entry point" in findings[0].message
+    assert "per prediction" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# HP002 — accumulating whole-array allocation
+# ---------------------------------------------------------------------------
+
+
+def test_hp002_np_append_accumulator(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        import numpy as np
+
+        def hot(parts):
+            acc = np.zeros(0)
+            for part in parts:
+                acc = np.append(acc, part)
+            return acc
+    """}) if f.rule == "HP002"]
+    assert len(findings) == 1
+    assert "acc" in findings[0].message
+    assert "every iteration" in findings[0].message
+
+
+def test_hp002_list_rebuild_accumulator(tmp_path):
+    assert "HP002" in _rules(tmp_path, {"mod.py": """
+        def hot(rows):
+            total = []
+            for row in rows:
+                total = total + [row * 2.0]
+            return total
+    """})
+
+
+def test_hp002_collect_then_concatenate_is_clean(tmp_path):
+    assert _rules(tmp_path, {"mod.py": """
+        import numpy as np
+
+        def hot(parts):
+            collected = []
+            for part in parts:
+                collected.append(part)
+            return np.concatenate(collected)
+    """}) == set()
+
+
+def test_hp002_seeded_pr4_histogram_mutation(tmp_path):
+    # Reintroduce the pre-PR-4 shape: grow the gradient histogram by
+    # whole-array concatenation once per feature instead of filling the
+    # preallocated matrix — the O(rows x features) temporaries bug.
+    source = _GROW_SOURCE.read_text()
+    fill = ("            grad_hist[feature] = np.bincount(codes, weights=g,\n"
+            "                                             minlength=n_bins)\n")
+    assert fill in source
+    mutated = source.replace(fill, (
+        "            row = np.bincount(codes, weights=g,\n"
+        "                              minlength=n_bins)\n"
+        "            grad_hist = np.concatenate([grad_hist, row[None]])\n"))
+    corpus = tmp_path / "trees"
+    corpus.mkdir()
+    (corpus / "grow.py").write_text(mutated)
+    findings = [f for f in check_hotpath(roots=[tmp_path],
+                                         hot_roots=["_build_histogram"],
+                                         per_element_roots=[])
+                if f.rule == "HP002"]
+    assert len(findings) == 1
+    assert "grad_hist" in findings[0].message
+
+
+def test_real_histogram_source_is_hp002_clean(tmp_path):
+    corpus = tmp_path / "trees"
+    corpus.mkdir()
+    (corpus / "grow.py").write_text(_GROW_SOURCE.read_text())
+    assert [f for f in check_hotpath(roots=[tmp_path],
+                                     hot_roots=["_build_histogram"],
+                                     per_element_roots=[])
+            if f.rule == "HP002"] == []
+
+
+# ---------------------------------------------------------------------------
+# HP003 — per-item submission across the process boundary
+# ---------------------------------------------------------------------------
+
+
+def test_hp003_per_item_submit(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def hot(fn, tasks):
+            with ProcessPoolExecutor(max_workers=4) as pool:
+                futures = [pool.submit(fn, task) for task in tasks]
+            return [future.result() for future in futures]
+    """}) if f.rule == "HP003"]
+    assert len(findings) == 1
+    assert "pickle + IPC" in findings[0].message
+
+
+def test_hp003_apply_async_on_multiprocessing_pool(tmp_path):
+    assert "HP003" in _rules(tmp_path, {"mod.py": """
+        from multiprocessing import Pool
+
+        def hot(fn, tasks):
+            pool = Pool(4)
+            handles = [pool.apply_async(fn, (task,)) for task in tasks]
+            return [handle.get() for handle in handles]
+    """})
+
+
+def test_hp003_pool_map_is_clean(tmp_path):
+    assert "HP003" not in _rules(tmp_path, {"mod.py": """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def hot(fn, tasks):
+            with ProcessPoolExecutor(max_workers=4) as pool:
+                return list(pool.map(fn, tasks, chunksize=64))
+    """})
+
+
+def test_hp003_seeded_per_row_process_map_variant(tmp_path):
+    # The ROADMAP item 5 shape as a fixture: a process_map that submits
+    # one future per task, paying pickle + IPC per row.
+    findings = [f for f in _findings(tmp_path, {"parallel.py": """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def process_map(fn, tasks, jobs):
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {pool.submit(fn, task): index
+                           for index, task in enumerate(tasks)}
+                ordered = sorted(futures, key=futures.get)
+                return [future.result() for future in ordered]
+    """}, hot_roots=["process_map"]) if f.rule == "HP003"]
+    assert len(findings) == 1
+    assert "process boundary" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# HP004 — blocking while holding a lock
+# ---------------------------------------------------------------------------
+
+
+def test_hp004_sleep_while_holding_lock(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        import threading
+        import time
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def hot(self):
+                with self._lock:
+                    time.sleep(0.05)
+    """}, hot_roots=["Store.hot"]) if f.rule == "HP004"]
+    assert len(findings) == 1
+    assert "self._lock" in findings[0].message
+
+
+def test_hp004_blocking_effect_via_callee(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def _flush(self, path, payload):
+                path.write_text(payload)
+
+            def hot(self, path, payload):
+                with self._lock:
+                    self._flush(path, payload)
+    """}, hot_roots=["Store.hot"]) if f.rule == "HP004"]
+    assert len(findings) == 1
+    assert "outside the lock" in findings[0].message
+
+
+def test_hp004_blocking_outside_lock_is_clean(tmp_path):
+    assert "HP004" not in _rules(tmp_path, {"mod.py": """
+        import threading
+        import time
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def hot(self):
+                time.sleep(0.05)
+                with self._lock:
+                    self._count = 0
+    """}, hot_roots=["Store.hot"])
+
+
+# ---------------------------------------------------------------------------
+# HP005 — loop-invariant pure calls
+# ---------------------------------------------------------------------------
+
+
+def test_hp005_invariant_len_in_loop(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        def hot(rows, bounds):
+            out = []
+            for row in rows:
+                width = len(bounds)
+                out.append(row * width)
+            return out
+    """}) if f.rule == "HP005"]
+    assert len(findings) == 1
+    assert "len()" in findings[0].message
+
+
+def test_hp005_variant_argument_is_clean(tmp_path):
+    assert "HP005" not in _rules(tmp_path, {"mod.py": """
+        def hot(rows):
+            out = []
+            for row in rows:
+                out.append(len(row))
+            return out
+    """})
+
+
+def test_hp005_mutated_container_is_clean(tmp_path):
+    # `len(seen)` looks invariant by rebinding alone, but `seen.add`
+    # mutates it per iteration — the LRU-eviction false positive.
+    assert "HP005" not in _rules(tmp_path, {"mod.py": """
+        def hot(rows):
+            seen = set()
+            out = []
+            for row in rows:
+                seen.add(row)
+                out.append(len(seen))
+            return out
+    """})
+
+
+# ---------------------------------------------------------------------------
+# HP006 — per-iteration label formatting / eager logging
+# ---------------------------------------------------------------------------
+
+
+def test_hp006_fully_invariant_fstring(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        class Renderer:
+            def hot(self, rows):
+                lines = []
+                for row in rows:
+                    header = f"model={self.name}"
+                    lines.append(header + str(row))
+                return lines
+    """}, hot_roots=["Renderer.hot"]) if f.rule == "HP006"]
+    assert len(findings) == 1
+    assert "loop-invariant" in findings[0].message
+
+
+def test_hp006_invariant_attribute_part(tmp_path):
+    # The metric-label shape: `self.name` re-resolved and re-formatted
+    # per sample even though only `row` varies.
+    assert "HP006" in _rules(tmp_path, {"mod.py": """
+        class Renderer:
+            def hot(self, rows):
+                return [f"{self.name}:{row}" for row in rows]
+    """}, hot_roots=["Renderer.hot"])
+
+
+def test_hp006_varying_local_parts_are_clean(tmp_path):
+    assert "HP006" not in _rules(tmp_path, {"mod.py": """
+        def hot(rows, prefix):
+            return [f"{prefix}:{row}" for row in rows]
+    """})
+
+
+def test_hp006_failure_path_fstring_is_exempt(tmp_path):
+    # Raise/assert messages only format on the failure path — leave
+    # them readable.
+    assert "HP006" not in _rules(tmp_path, {"mod.py": """
+        class Renderer:
+            def hot(self, rows):
+                for row in rows:
+                    if row < 0:
+                        raise ValueError(f"negative row in {self.name}")
+                return rows
+    """}, hot_roots=["Renderer.hot"])
+
+
+def test_hp006_eager_logging_format(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        def hot(logger, rows):
+            logger.debug(f"predicting {len(rows)} rows")
+            return rows
+    """}) if f.rule == "HP006"]
+    assert len(findings) == 1
+    assert "%-style" in findings[0].message
+
+
+def test_hp006_lazy_logging_is_clean(tmp_path):
+    assert "HP006" not in _rules(tmp_path, {"mod.py": """
+        def hot(logger, rows):
+            logger.debug("predicting %d rows", len(rows))
+            return rows
+    """})
+
+
+# ---------------------------------------------------------------------------
+# HP007 — exception-as-control-flow
+# ---------------------------------------------------------------------------
+
+
+def test_hp007_try_except_as_lookup(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        def hot(rows, table):
+            out = []
+            for row in rows:
+                try:
+                    value = table[row]
+                except KeyError:
+                    value = 0
+                out.append(value)
+            return out
+    """}) if f.rule == "HP007"]
+    assert len(findings) == 1
+    assert "KeyError" in findings[0].message
+
+
+def test_hp007_substantive_handler_is_clean(tmp_path):
+    assert "HP007" not in _rules(tmp_path, {"mod.py": """
+        def hot(rows, table, rebuild):
+            out = []
+            for row in rows:
+                try:
+                    value = table[row]
+                except KeyError:
+                    value = rebuild(table, row)
+                out.append(value)
+            return out
+    """})
+
+
+# ---------------------------------------------------------------------------
+# HP008 — list membership per iteration
+# ---------------------------------------------------------------------------
+
+
+def test_hp008_membership_against_list(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        def hot(rows, names):
+            allowed = sorted(names)
+            hits = 0
+            for row in rows:
+                if row in allowed:
+                    hits += 1
+            return hits
+    """}) if f.rule == "HP008"]
+    assert len(findings) == 1
+    assert "allowed" in findings[0].message
+
+
+def test_hp008_membership_against_set_is_clean(tmp_path):
+    assert "HP008" not in _rules(tmp_path, {"mod.py": """
+        def hot(rows, names):
+            allowed = set(names)
+            hits = 0
+            for row in rows:
+                if row in allowed:
+                    hits += 1
+            return hits
+    """})
+
+
+# ---------------------------------------------------------------------------
+# HP009 — repeated attribute-chain resolution
+# ---------------------------------------------------------------------------
+
+
+def test_hp009_repeated_attribute_chain(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        class Scorer:
+            def hot(self, rows):
+                total = 0.0
+                for row in rows:
+                    total = total + self.model.bias.scale * row
+                    total = total + self.model.bias.scale
+                    total = total + self.model.bias.scale
+                return total
+    """}, hot_roots=["Scorer.hot"]) if f.rule == "HP009"]
+    assert len(findings) == 1
+    assert "self.model.bias.scale" in findings[0].message
+
+
+def test_hp009_hoisted_chain_is_clean(tmp_path):
+    assert "HP009" not in _rules(tmp_path, {"mod.py": """
+        class Scorer:
+            def hot(self, rows):
+                scale = self.model.bias.scale
+                total = 0.0
+                for row in rows:
+                    total = total + scale * row
+                    total = total + scale
+                    total = total + scale
+                return total
+    """}, hot_roots=["Scorer.hot"])
+
+
+# ---------------------------------------------------------------------------
+# HP010 — slow stdlib calls per element
+# ---------------------------------------------------------------------------
+
+
+def test_hp010_json_in_comprehension(tmp_path):
+    findings = [f for f in _findings(tmp_path, {"mod.py": """
+        import json
+
+        def hot(rows):
+            return [json.dumps(row) for row in rows]
+    """}) if f.rule == "HP010"]
+    assert len(findings) == 1
+    assert "inside a loop" in findings[0].message
+
+
+def test_hp010_re_compile_in_loop(tmp_path):
+    assert "HP010" in _rules(tmp_path, {"mod.py": """
+        import re
+
+        def hot(lines, pattern):
+            out = []
+            for line in lines:
+                matcher = re.compile(pattern)
+                if matcher.match(line):
+                    out.append(line)
+            return out
+    """})
+
+
+def test_hp010_hoisted_compile_is_clean(tmp_path):
+    assert "HP010" not in _rules(tmp_path, {"mod.py": """
+        import re
+
+        def hot(lines, pattern):
+            matcher = re.compile(pattern)
+            return [line for line in lines if matcher.match(line)]
+    """})
+
+
+# ---------------------------------------------------------------------------
+# hot-root configuration
+# ---------------------------------------------------------------------------
+
+
+def test_load_hot_root_config_missing_file_uses_defaults(tmp_path):
+    roots, per_element = load_hot_root_config(tmp_path / "absent.toml")
+    assert roots == list(DEFAULT_HOT_ROOTS)
+    assert per_element == list(DEFAULT_PER_ELEMENT_ROOTS)
+
+
+def test_load_hot_root_config_reads_section(tmp_path):
+    config = tmp_path / "checks_baseline.toml"
+    config.write_text(
+        '[hotpath]\n'
+        'roots = ["Service.handle", "fan_out"]\n'
+        'per_element_roots = ["Model.predict_one"]\n')
+    roots, per_element = load_hot_root_config(config)
+    assert roots == ["Service.handle", "fan_out"]
+    assert per_element == ["Model.predict_one"]
+
+
+def test_load_hot_root_config_rejects_non_array(tmp_path):
+    config = tmp_path / "checks_baseline.toml"
+    config.write_text('[hotpath]\nroots = "Service.handle"\n')
+    with pytest.raises(CheckError, match="array of strings"):
+        load_hot_root_config(config)
+
+
+def test_config_path_drives_the_hot_set(tmp_path):
+    config = tmp_path / "config.toml"
+    config.write_text('[hotpath]\nroots = ["serve"]\n')
+    (tmp_path / "app.py").write_text(textwrap.dedent("""
+        import pickle
+
+        def serve(rows):
+            return [pickle.dumps(row) for row in rows]
+
+        def cold(rows):
+            return [pickle.dumps(row) for row in rows]
+    """))
+    findings = check_hotpath(roots=[tmp_path], config_path=config)
+    assert [f.rule for f in findings] == ["HP010"]
+    assert "hot via serve" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# the real repo: exactly the two grandfathered roadmap debts
+# ---------------------------------------------------------------------------
+
+
+def test_repo_findings_are_exactly_the_roadmap_debts():
+    findings = check_hotpath()
+    assert [(f.rule, f.path, f.line) for f in findings] == [
+        ("HP003", "src/repro/parallel/executor.py", 117),
+        ("HP001", "src/repro/treecomp/compiler.py", 95),
+    ]
+    assert all("hot via" in f.message for f in findings)
