@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import CheckError
+from ..errors import CheckError, CompilationError
+from ..treecomp.codegen import STRATEGIES
 from ..trees.boosting import BoostedTreesModel
 from ..trees.serialize import loads_model
 from .codegen_verify import self_check_model, verify_codegen
@@ -244,13 +245,29 @@ class CheckOptions:
 
 
 def _run_codegen(opts: CheckOptions) -> List[Finding]:
+    """Verify generated C for every registered codegen strategy.
+
+    A strategy that refuses to generate for this model (e.g. the
+    ``flat_array_f32`` near-tie guard) is skipped — the refusal is the
+    guard working, not an equivalence failure, and the underlying
+    condition is already surfaced as an EA005 warning.
+    """
     if opts.model_path is not None:
         booster = _load_booster(opts.model_path)
         label = Path(opts.model_path).name
     else:
         booster = self_check_model()
         label = "<self-check model>"
-    return verify_codegen(booster, path=f"<generated C for {label}>")
+    findings: List[Finding] = []
+    for name, strategy in STRATEGIES.items():
+        try:
+            source = strategy.generate(booster)
+        except CompilationError:
+            continue
+        findings.extend(verify_codegen(
+            booster, source=source,
+            path=f"<generated C ({name}) for {label}>", strategy=strategy))
+    return findings
 
 
 def _run_ensemble(opts: CheckOptions) -> List[Finding]:

@@ -137,8 +137,13 @@ def _reachability_findings(tree: Tree, tree_index: int, path: str
     return findings, min_reachable
 
 
-def _near_tie_findings(trees: Sequence[Tree], path: str) -> List[Finding]:
-    """EA005: same-feature thresholds closer than one float32 ulp."""
+def near_tie_findings(trees: Sequence[Tree], path: str) -> List[Finding]:
+    """EA005: same-feature thresholds closer than one float32 ulp.
+
+    Public: also the generation guard for the ``flat_array_f32`` codegen
+    strategy, which refuses to emit float-truncated thresholds a
+    single-precision comparison cannot separate.
+    """
     findings: List[Finding] = []
     by_feature: Dict[int, List[Tuple[float, int, int]]] = {}
     for tree_index, tree in enumerate(trees):
@@ -207,7 +212,7 @@ def analyze_ensemble(model: BoostedTreesModel, path: str = "<model>",
                 f"-{EXP_OVERFLOW:.1f}, so some inputs decode to a "
                 f"non-finite tuple time"))
 
-    findings.extend(_near_tie_findings(model.trees, path))
+    findings.extend(near_tie_findings(model.trees, path))
 
     if check_unused_features:
         used = np.zeros(model.n_features, dtype=bool)

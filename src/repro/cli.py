@@ -47,6 +47,7 @@ from .engine.explain import explain, explain_pipelines
 from .engine.optimizer import Optimizer
 from .engine.pipelines import decompose_into_pipelines
 from .engine.sqlparser import parse_sql
+from .treecomp.codegen import DEFAULT_STRATEGY, STRATEGIES
 from .trees.boosting import BoostingParams
 
 
@@ -95,6 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--objective", default="mape",
                        choices=("mape", "l2", "l1"))
     train.add_argument("--no-compile", action="store_true")
+    train.add_argument("--codegen", default=DEFAULT_STRATEGY,
+                       choices=sorted(STRATEGIES),
+                       help="codegen strategy for the compiled backend, "
+                            "persisted with the model (default: "
+                            f"{DEFAULT_STRATEGY})")
 
     evaluate = subcommands.add_parser(
         "evaluate", help="q-error of a model on a workload")
@@ -137,6 +143,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="default per-request deadline in seconds")
     serve.add_argument("--no-compile", action="store_true",
                        help="force the interpreted backend")
+    serve.add_argument("--codegen", default=None,
+                       choices=sorted(STRATEGIES),
+                       help="override the codegen strategy persisted in "
+                            "the loaded model(s) (default: honour each "
+                            "artifact's own)")
     serve.add_argument("--chaos", metavar="PLAN",
                        help="deterministic fault plan: ';'-separated "
                             "site:action[:probability[:max_fires]] specs, "
@@ -277,7 +288,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         boosting=BoostingParams(n_rounds=args.rounds,
                                 objective=args.objective,
                                 validation_fraction=0.2),
-        compile_to_native=not args.no_compile)
+        compile_to_native=not args.no_compile,
+        codegen_strategy=args.codegen)
     print(f"training on {len(queries)} queries "
           f"({args.rounds} rounds, {args.objective}) ...", file=sys.stderr)
     model = T3Model.train(queries, config)
@@ -353,7 +365,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"chaos plan armed (seed {seed}): "
               f"{'; '.join(plan.describe())}", file=sys.stderr)
 
-    registry = ModelRegistry(compile_native=not args.no_compile)
+    registry = ModelRegistry(compile_native=not args.no_compile,
+                             codegen=args.codegen)
     for spec in args.model:
         name, _, path = spec.rpartition("=")
         if not Path(path).exists():
@@ -369,6 +382,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         plan_cache_size=args.cache_size,
         default_timeout_s=args.timeout,
         compile_native=not args.no_compile,
+        codegen=args.codegen,
         fault_seed=seed)
     service = PredictionService(registry, config)
     server = ServingServer(service, host=args.host, port=args.port,

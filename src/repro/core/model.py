@@ -27,6 +27,7 @@ from ..engine.physical import PhysicalPlan
 from ..datagen.workload import BenchmarkedQuery
 from ..trees.boosting import BoostedTreesModel, BoostingParams, train_boosted_trees
 from ..trees.serialize import dumps_model, loads_model
+from ..treecomp.codegen import DEFAULT_STRATEGY, get_strategy
 from ..treecomp.compiler import CompiledTreeModel, compile_model, find_c_compiler
 from ..treecomp.interpreter import PythonScalarModel
 from .ablation import TargetMode, training_matrices
@@ -56,6 +57,9 @@ class T3Config:
     cardinalities: CardinalityKind = CardinalityKind.EXACT
     target_mode: TargetMode = TargetMode.PER_TUPLE
     compile_to_native: bool = True
+    #: codegen strategy for the native backend (see repro.treecomp.STRATEGIES);
+    #: persisted by save() so a loaded model recompiles the same way.
+    codegen_strategy: str = DEFAULT_STRATEGY
     seed: int = DEFAULT_SEED
 
 
@@ -107,10 +111,13 @@ class T3Model:
         """
         if self._compiled is not None:
             return True
+        # Resolve eagerly so a typo'd strategy name raises instead of
+        # silently serving interpreted predictions.
+        strategy = get_strategy(self.config.codegen_strategy)
         if find_c_compiler() is None:
             return False
         try:
-            self._compiled = compile_model(self.booster)
+            self._compiled = compile_model(self.booster, strategy=strategy)
         except CompilationError:
             return False
         self.backend = PredictionBackend.COMPILED
@@ -220,12 +227,19 @@ class T3Model:
             "target_mode": self.config.target_mode.value,
             "seed": self.config.seed,
             "feature_names": self.registry.feature_names(),
+            "codegen": self.config.codegen_strategy,
         }
         Path(path).write_text(json.dumps(payload))
 
     @classmethod
     def load(cls, path: Union[str, Path],
-             compile_to_native: bool = True) -> "T3Model":
+             compile_to_native: bool = True,
+             codegen: Optional[str] = None) -> "T3Model":
+        """Load a persisted model.
+
+        ``codegen`` overrides the persisted codegen strategy (models
+        saved before the strategy layer default to ``nested_if``).
+        """
         payload = json.loads(Path(path).read_text())
         booster = loads_model(json.dumps(payload["model"]))
         saved_names = payload.get("feature_names")
@@ -241,6 +255,8 @@ class T3Model:
             cardinalities=CardinalityKind(payload["cardinalities"]),
             target_mode=TargetMode(payload["target_mode"]),
             compile_to_native=compile_to_native,
+            codegen_strategy=codegen or payload.get("codegen",
+                                                    DEFAULT_STRATEGY),
             seed=payload["seed"])
         return cls(booster, config)
 

@@ -66,6 +66,7 @@ class ModelEntry:
             "version": self.version,
             "source": self.source,
             "backend": self.backend,
+            "codegen": self.model.config.codegen_strategy,
             "n_features": self.n_features,
             "n_trees": len(self.model.booster.trees),
             "warmup_seconds": round(self.warmup_seconds, 6),
@@ -81,8 +82,15 @@ class ModelRegistry:
     """Thread-safe, versioned collection of serveable models."""
 
     def __init__(self, compile_native: bool = True,
-                 injector: Optional[FaultInjector] = None):
+                 injector: Optional[FaultInjector] = None,
+                 codegen: Optional[str] = None):
+        """``codegen`` overrides the codegen strategy of every model
+        loaded from disk (``repro-t3 serve --codegen ...``); ``None``
+        honours each artifact's persisted strategy. In-memory models
+        passed to :meth:`register` keep their own config either way.
+        """
         self.compile_native = compile_native
+        self.codegen = codegen
         self._versions: Dict[str, List[ModelEntry]] = {}
         self._lock = threading.Lock()
         self._injector = injector or get_injector()
@@ -121,7 +129,8 @@ class ModelRegistry:
             versions = self._versions.get(name, [])
             if versions and versions[-1].content_digest == digest:
                 return versions[-1]
-        model = T3Model.load(path, compile_to_native=False)
+        model = T3Model.load(path, compile_to_native=False,
+                             codegen=self.codegen)
         return self.register(model, name=name, source=str(path),
                              content_digest=digest)
 

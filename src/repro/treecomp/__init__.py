@@ -8,17 +8,35 @@ this package reimplements the same contract on top of the system C
 compiler:
 
 * :mod:`repro.treecomp.codegen` renders a trained
-  :class:`~repro.trees.boosting.BoostedTreesModel` to C — one function
-  per tree, nested two-way branches, single-return leaves,
+  :class:`~repro.trees.boosting.BoostedTreesModel` to C through a
+  pluggable :class:`~repro.treecomp.codegen.CodegenStrategy` layer —
+  the paper-literal nested-if emitter (``nested_if``) plus batch-native
+  flat node-array backends (``flat_array``, ``flat_array_f32``),
 * :mod:`repro.treecomp.compiler` invokes ``gcc``, loads the shared
-  library through :mod:`ctypes`, and exposes ``predict``/``predict_batch``,
+  library through :mod:`ctypes`, and exposes ``predict``/``predict_one``
+  — every shape routed through a single batch FFI entry point,
 * :mod:`repro.treecomp.interpreter` provides the interpreted baselines
   (scalar Python, vectorized numpy, and a multi-threaded variant) used
   by the latency experiments (Table 1/2, Figure 5).
 """
 
-from .codegen import generate_c_source
-from .compiler import CompiledTreeModel, compile_model, find_c_compiler
+from .codegen import (
+    DEFAULT_STRATEGY,
+    STRATEGIES,
+    CodegenStrategy,
+    FlatArrayF32Strategy,
+    FlatArrayStrategy,
+    NestedIfStrategy,
+    flatten_ensemble,
+    generate_c_source,
+    get_strategy,
+)
+from .compiler import (
+    CompiledTreeModel,
+    compile_model,
+    compiler_info,
+    find_c_compiler,
+)
 from .interpreter import (
     InterpretedModel,
     MultiThreadedInterpretedModel,
@@ -26,9 +44,18 @@ from .interpreter import (
 )
 
 __all__ = [
+    "DEFAULT_STRATEGY",
+    "STRATEGIES",
+    "CodegenStrategy",
+    "NestedIfStrategy",
+    "FlatArrayStrategy",
+    "FlatArrayF32Strategy",
+    "flatten_ensemble",
+    "get_strategy",
     "generate_c_source",
     "CompiledTreeModel",
     "compile_model",
+    "compiler_info",
     "find_c_compiler",
     "InterpretedModel",
     "MultiThreadedInterpretedModel",

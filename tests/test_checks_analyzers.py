@@ -139,13 +139,14 @@ def test_baseline_load_missing_file_is_typed_error(tmp_path):
 # ---------------------------------------------------------------------------
 
 def test_run_checks_repo_is_clean():
-    # The repo baseline grandfathers exactly the two ROADMAP perf debts
-    # (HP001 treecomp FFI-per-prediction, HP003 per-task fan-out).
+    # The repo baseline grandfathers exactly the one remaining ROADMAP
+    # perf debt (HP003 per-task fan-out); HP001 was retired by the
+    # batch-native codegen work.
     baseline = Path(__file__).resolve().parents[1] / "checks_baseline.toml"
     report = run_checks(baseline=baseline)
     assert report.findings == []
     assert report.exit_code == 0
-    assert sorted(f.rule for f in report.suppressed) == ["HP001", "HP003"]
+    assert sorted(f.rule for f in report.suppressed) == ["HP003"]
     assert set(report.analyzers_run) == {
         "codegen", "feature-schema", "plan-invariants", "ensemble",
         "concurrency", "lint", "responsiveness", "determinism",

@@ -611,14 +611,17 @@ def test_config_path_drives_the_hot_set(tmp_path):
 
 
 # ---------------------------------------------------------------------------
-# the real repo: exactly the two grandfathered roadmap debts
+# the real repo: exactly the one grandfathered roadmap debt
 # ---------------------------------------------------------------------------
 
 
 def test_repo_findings_are_exactly_the_roadmap_debts():
+    # HP001 (per-prediction FFI in CompiledTreeModel.predict_one) was
+    # retired by the batch-native codegen work: predict_one now routes
+    # through a 1-row batch buffer, so only the HP003 fan-out debt
+    # (ROADMAP item 5) remains.
     findings = check_hotpath()
     assert [(f.rule, f.path, f.line) for f in findings] == [
         ("HP003", "src/repro/parallel/executor.py", 117),
-        ("HP001", "src/repro/treecomp/compiler.py", 95),
     ]
     assert all("hot via" in f.message for f in findings)

@@ -1,0 +1,524 @@
+"""Tests for the pluggable codegen strategy layer (codegen v2).
+
+Covers the strategy registry, the flat node-array emitters, cross-
+backend equivalence (bit-identical for float64 strategies, documented
+float32 tolerance for ``flat_array_f32``), the extended CG verifier's
+mutation oracle on the flat emitter, the single-FFI-per-batch serving
+contract that retired HP001, the empty-batch/1-D edge cases on every
+backend, ``compiler_info`` memoization, and save/load round-tripping
+of the persisted strategy choice.
+"""
+
+import json
+import re
+import threading
+
+import numpy as np
+import pytest
+
+import repro.treecomp.compiler as compiler_mod
+from repro.checks.codegen_verify import (
+    parse_flat_source,
+    self_check_model,
+    verify_codegen,
+)
+from repro.core.model import PredictionBackend, T3Config, T3Model
+from repro.errors import CompilationError
+from repro.serving.batching import MicroBatcher
+from repro.serving.registry import ModelRegistry
+from repro.treecomp import (
+    DEFAULT_STRATEGY,
+    STRATEGIES,
+    CompiledTreeModel,
+    InterpretedModel,
+    MultiThreadedInterpretedModel,
+    PythonScalarModel,
+    compile_model,
+    compiler_info,
+    find_c_compiler,
+    flatten_ensemble,
+    generate_c_source,
+    get_strategy,
+)
+from repro.trees import BoostingParams, train_boosted_trees
+from repro.trees.boosting import BoostedTreesModel
+from repro.trees.tree import Tree, TreeNode
+
+HAVE_CC = find_c_compiler() is not None
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no C compiler available")
+
+#: Documented float32-threshold tolerance: truncating a threshold moves
+#: it by at most half an ulp, which can only re-route inputs lying
+#: between the exact and truncated threshold — bounded here relative to
+#: the prediction scale of the test models.
+F32_RTOL = 1e-5
+
+
+@pytest.fixture(scope="module")
+def trained_model() -> BoostedTreesModel:
+    rng = np.random.default_rng(7)
+    X = rng.uniform(0, 10, size=(1500, 6))
+    y = np.sin(X[:, 0]) + np.where(X[:, 1] > 5, 2.0, 0.0) + 0.1 * X[:, 2]
+    return train_boosted_trees(X, y, BoostingParams(n_rounds=30))
+
+
+@pytest.fixture(scope="module")
+def probe_matrix() -> np.ndarray:
+    return np.random.default_rng(8).uniform(-5, 15, size=(400, 6))
+
+
+# ---------------------------------------------------------------------------
+# strategy registry
+# ---------------------------------------------------------------------------
+
+
+class TestStrategyRegistry:
+    def test_registry_contents(self):
+        assert sorted(STRATEGIES) == ["flat_array", "flat_array_f32",
+                                      "nested_if"]
+        assert DEFAULT_STRATEGY == "nested_if"
+        for name, strategy in STRATEGIES.items():
+            assert strategy.name == name
+
+    def test_get_strategy_by_name_and_instance(self):
+        flat = get_strategy("flat_array")
+        assert get_strategy(flat) is flat
+        assert not flat.emits_single_entry
+        assert get_strategy("nested_if").emits_single_entry
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(CompilationError, match="unknown codegen"):
+            get_strategy("llvm_jit")
+
+    def test_threshold_dtypes(self):
+        assert STRATEGIES["nested_if"].threshold_dtype == "float64"
+        assert STRATEGIES["flat_array"].threshold_dtype == "float64"
+        assert STRATEGIES["flat_array_f32"].threshold_dtype == "float32"
+
+
+# ---------------------------------------------------------------------------
+# flat emitter: source shape and flattening
+# ---------------------------------------------------------------------------
+
+
+class TestFlatEmitter:
+    def test_flat_source_structure(self, trained_model):
+        source = generate_c_source(trained_model, "m", strategy="flat_array")
+        for array in ("m_node_feature", "m_node_threshold", "m_node_left",
+                      "m_node_right", "m_node_value", "m_tree_root"):
+            assert f"static const" in source and array in source
+        assert "void m_predict_batch(const double *f" in source
+        assert "long m_n_features(void)" in source
+        # Batch-native contract: no single-row entry point is exported.
+        assert "double m_predict(const double *f)" not in source
+
+    def test_f32_source_uses_float_thresholds(self, trained_model):
+        source = generate_c_source(trained_model, strategy="flat_array_f32")
+        assert re.search(r"static const float t3_node_threshold\[", source)
+        # leaf values stay double for bit-exact accumulation
+        assert re.search(r"static const double t3_node_value\[", source)
+
+    def test_flatten_ensemble_roundtrip(self, trained_model):
+        feature, threshold, left, right, value, roots = \
+            flatten_ensemble(trained_model)
+        total = sum(t.n_nodes for t in trained_model.trees)
+        assert len(feature) == len(threshold) == len(left) == len(right) \
+            == len(value) == total
+        assert list(roots) == list(np.cumsum(
+            [0] + [t.n_nodes for t in trained_model.trees[:-1]]))
+        # replay one row through the arrays and through the model
+        x = np.full(trained_model.n_features, 3.0)
+        total_pred = trained_model.base_score
+        for root in roots:
+            node = int(root)
+            while feature[node] >= 0:
+                node = int(left[node] if x[feature[node]] <= threshold[node]
+                           else right[node])
+            total_pred += value[node]
+        assert total_pred == trained_model.predict_one(x)
+
+    def test_f32_near_tie_guard_refuses(self):
+        # Two same-feature thresholds within one float32 ulp: EA005
+        # fires, so the f32 strategy must refuse to emit.
+        ulp = float(np.spacing(np.float32(1.0)))
+        trees = [
+            Tree.from_nodes([
+                TreeNode(feature=0, threshold=1.0, left=1, right=2),
+                TreeNode(value=1.0), TreeNode(value=2.0)]),
+            Tree.from_nodes([
+                TreeNode(feature=0, threshold=1.0 + 0.25 * ulp,
+                         left=1, right=2),
+                TreeNode(value=3.0), TreeNode(value=4.0)]),
+        ]
+        model = BoostedTreesModel(trees, 0.0, 2)
+        with pytest.raises(CompilationError, match="float32"):
+            generate_c_source(model, strategy="flat_array_f32")
+        # the float64 flat strategy accepts the same model
+        assert generate_c_source(model, strategy="flat_array")
+
+    def test_f32_overflowing_threshold_refused(self):
+        tree = Tree.from_nodes([
+            TreeNode(feature=0, threshold=1e39, left=1, right=2),
+            TreeNode(value=1.0), TreeNode(value=2.0)])
+        model = BoostedTreesModel([tree], 0.0, 1)
+        with pytest.raises(CompilationError, match="overflows float32"):
+            generate_c_source(model, strategy="flat_array_f32")
+
+    def test_invalid_prefix_and_empty_model_rejected(self, trained_model):
+        with pytest.raises(CompilationError):
+            generate_c_source(trained_model, "1bad", strategy="flat_array")
+        with pytest.raises(CompilationError):
+            generate_c_source(BoostedTreesModel([], 0.0, 4),
+                              strategy="flat_array")
+
+
+# ---------------------------------------------------------------------------
+# cross-backend equivalence
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def reference(self, trained_model, probe_matrix):
+        return InterpretedModel(trained_model).predict(probe_matrix)
+
+    @pytest.mark.parametrize("strategy", ["nested_if", "flat_array"])
+    def test_float64_strategies_bit_identical(self, trained_model,
+                                              probe_matrix, reference,
+                                              strategy):
+        compiled = compile_model(trained_model, strategy=strategy)
+        try:
+            got = compiled.predict(probe_matrix)
+            # same double arithmetic in the same order: bit-identical
+            assert np.array_equal(got, reference)
+            singles = np.array([compiled.predict_one(x)
+                                for x in probe_matrix[:32]])
+            assert np.array_equal(singles, reference[:32])
+        finally:
+            compiled.close()
+
+    def test_f32_strategy_within_documented_tolerance(self, trained_model,
+                                                      probe_matrix,
+                                                      reference):
+        compiled = compile_model(trained_model, strategy="flat_array_f32")
+        try:
+            got = compiled.predict(probe_matrix)
+            assert np.allclose(got, reference, rtol=F32_RTOL, atol=1e-9)
+        finally:
+            compiled.close()
+
+    def test_interpreted_backends_agree(self, trained_model, probe_matrix,
+                                        reference):
+        assert np.array_equal(
+            PythonScalarModel(trained_model).predict(probe_matrix),
+            reference)
+        mt = MultiThreadedInterpretedModel(trained_model)
+        try:
+            assert np.array_equal(mt.predict(probe_matrix), reference)
+        finally:
+            mt.close()
+
+    def test_predict_one_thread_safe(self, trained_model, probe_matrix):
+        # per-thread 1-row buffers: concurrent predict_one calls must
+        # not race on shared output storage
+        compiled = compile_model(trained_model, strategy="flat_array")
+        expected = trained_model.predict(probe_matrix)
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(offset, len(probe_matrix), 4):
+                    got = compiled.predict_one(probe_matrix[i])
+                    if got != expected[i]:
+                        errors.append((i, got, expected[i]))
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,))
+                   for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        compiled.close()
+        assert errors == []
+
+
+# ---------------------------------------------------------------------------
+# verifier: every strategy proves clean, mutations are caught
+# ---------------------------------------------------------------------------
+
+
+class TestFlatVerifier:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_clean_generation_verifies(self, trained_model, strategy):
+        assert verify_codegen(trained_model, strategy=strategy) == []
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_self_check_model_verifies(self, strategy):
+        assert verify_codegen(self_check_model(), strategy=strategy) == []
+
+    def _flat_source(self, model):
+        return generate_c_source(model, strategy="flat_array")
+
+    def test_mutation_flipped_threshold(self):
+        # the mutation oracle required by the issue: a perturbed
+        # threshold in the flat arrays must surface as CG005
+        model = self_check_model()
+        source = self._flat_source(model)
+        parsed = parse_flat_source(source)
+        victim = next(repr(t) for f, t in zip(parsed.feature,
+                                              parsed.threshold) if f >= 0)
+        mutated = source.replace(victim, repr(float(victim) + 0.5), 1)
+        assert mutated != source
+        rules = {f.rule for f in verify_codegen(model, source=mutated,
+                                                strategy="flat_array")}
+        assert "CG005" in rules
+
+    def test_mutation_swapped_child_index(self):
+        # a swapped left/right pair re-routes every split decision; the
+        # lockstep walk must flag the topology mismatch as CG003
+        model = self_check_model()
+        source = self._flat_source(model)
+        parsed = parse_flat_source(source)
+        root = parsed.roots[0]
+        left, right = parsed.left[root], parsed.right[root]
+        lines = source.splitlines()
+        swapped = []
+        state = None
+        for line in lines:
+            if line.startswith("static const int t3_node_left["):
+                state = ("swap", str(left), str(right))
+            elif line.startswith("static const int t3_node_right["):
+                state = ("swap", str(right), str(left))
+            elif state and not line.startswith(" ") and line != "":
+                state = None
+            if state and line.startswith("    "):
+                line = line.replace(f"    {state[1]},", f"    {state[2]},", 1)
+                state = None
+            swapped.append(line)
+        mutated = "\n".join(swapped)
+        assert mutated != source
+        rules = {f.rule for f in verify_codegen(model, source=mutated,
+                                                strategy="flat_array")}
+        assert "CG003" in rules
+
+    def test_mutation_wrong_tree_loop_bound(self):
+        model = self_check_model()
+        source = self._flat_source(model)
+        mutated = source.replace("for (long t = 0; t < 5L; t++)",
+                                 "for (long t = 0; t < 4L; t++)")
+        rules = {f.rule for f in verify_codegen(model, source=mutated,
+                                                strategy="flat_array")}
+        assert "CG002" in rules
+
+    def test_mutation_wrong_stride(self):
+        model = self_check_model()
+        source = self._flat_source(model)
+        mutated = source.replace("row = f + i * 7L", "row = f + i * 6L")
+        rules = {f.rule for f in verify_codegen(model, source=mutated,
+                                                strategy="flat_array")}
+        assert "CG008" in rules
+
+    def test_unparseable_source_is_cg001(self):
+        findings = verify_codegen(self_check_model(), source="int main(){}",
+                                  strategy="flat_array")
+        assert [f.rule for f in findings] == ["CG001"]
+
+    def test_f64_thresholds_in_f32_unit_rejected(self):
+        model = self_check_model()
+        source = generate_c_source(model, strategy="flat_array")
+        rules = {f.rule for f in verify_codegen(model, source=source,
+                                                strategy="flat_array_f32")}
+        assert "CG005" in rules
+
+    def test_parse_flat_source_recovers_arrays(self, trained_model):
+        source = self._flat_source(trained_model)
+        parsed = parse_flat_source(source)
+        assert parsed.n_nodes == sum(t.n_nodes for t in trained_model.trees)
+        assert len(parsed.roots) == trained_model.n_trees
+        assert parsed.batch_stride == trained_model.n_features
+        assert parsed.reported_n_features == trained_model.n_features
+        x = np.full(trained_model.n_features, 2.5)
+        assert parsed.evaluate(x) == trained_model.predict_one(x)
+
+
+# ---------------------------------------------------------------------------
+# compiled-model edges: empty batches, 1-D input, FFI accounting
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+class TestCompiledEdges:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_empty_batch_every_strategy(self, trained_model, strategy):
+        compiled = compile_model(trained_model, strategy=strategy)
+        try:
+            out = compiled.predict(np.empty((0, 6)))
+            assert out.shape == (0,) and out.dtype == np.float64
+            assert compiled.ffi_calls == 0    # no null pointer crossed FFI
+        finally:
+            compiled.close()
+
+    def test_empty_batch_interpreted_backends(self, trained_model):
+        empty = np.empty((0, 6))
+        for backend in (PythonScalarModel(trained_model),
+                        InterpretedModel(trained_model)):
+            out = backend.predict(empty)
+            assert out.shape == (0,) and out.dtype == np.float64
+        mt = MultiThreadedInterpretedModel(trained_model)
+        try:
+            assert mt.predict(empty).shape == (0,)
+        finally:
+            mt.close()
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_one_dimensional_input(self, trained_model, strategy):
+        compiled = compile_model(trained_model, strategy=strategy)
+        try:
+            x = np.full(6, 1.5)
+            out = compiled.predict(x)
+            assert out.shape == (1,)
+            assert out[0] == compiled.predict_one(x)
+            with pytest.raises(CompilationError):
+                compiled.predict(np.zeros(3))       # wrong-length vector
+            with pytest.raises(CompilationError):
+                compiled.predict(np.zeros((2, 3)))  # wrong column count
+            with pytest.raises(CompilationError):
+                compiled.predict(np.zeros((2, 2, 6)))  # wrong rank
+        finally:
+            compiled.close()
+
+    def test_ffi_call_accounting(self, trained_model):
+        compiled = compile_model(trained_model, strategy="flat_array")
+        try:
+            assert compiled.ffi_calls == 0
+            compiled.predict(np.zeros((10, 6)))
+            assert compiled.ffi_calls == 1       # one call for the batch
+            compiled.predict_one(np.zeros(6))
+            assert compiled.ffi_calls == 2       # one call for one row
+        finally:
+            compiled.close()
+
+    def test_strategy_attribute(self, trained_model):
+        for strategy in sorted(STRATEGIES):
+            compiled = compile_model(trained_model, strategy=strategy)
+            assert compiled.strategy == strategy
+            compiled.close()
+
+
+# ---------------------------------------------------------------------------
+# compiler_info memoization
+# ---------------------------------------------------------------------------
+
+
+class TestCompilerInfoMemoized:
+    def test_shells_out_exactly_once(self, monkeypatch):
+        calls = []
+        real_run = compiler_mod.subprocess.run
+
+        def counting_run(*args, **kwargs):
+            calls.append(args)
+            return real_run(*args, **kwargs)
+
+        monkeypatch.setattr(compiler_mod.subprocess, "run", counting_run)
+        compiler_info.cache_clear()
+        try:
+            first = compiler_info()
+            second = compiler_info()
+            assert first == second
+            assert len(calls) <= 1   # 0 when no compiler is installed
+        finally:
+            compiler_info.cache_clear()  # drop result built under the patch
+
+
+# ---------------------------------------------------------------------------
+# persistence and serving wiring
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+class TestStrategyWiring:
+    @pytest.fixture()
+    def t3(self):
+        booster = self_check_model()
+        config = T3Config(compile_to_native=True,
+                          codegen_strategy="flat_array")
+        model = T3Model(booster, config)
+        yield model
+        model.close()
+
+    def test_save_load_roundtrips_strategy(self, t3, tmp_path):
+        path = tmp_path / "model.json"
+        t3.save(path)
+        assert json.loads(path.read_text())["codegen"] == "flat_array"
+        loaded = T3Model.load(path)
+        assert loaded.config.codegen_strategy == "flat_array"
+        assert loaded._compiled is not None
+        assert loaded._compiled.strategy == "flat_array"
+        loaded.close()
+
+    def test_load_codegen_override(self, t3, tmp_path):
+        path = tmp_path / "model.json"
+        t3.save(path)
+        loaded = T3Model.load(path, codegen="nested_if")
+        assert loaded.config.codegen_strategy == "nested_if"
+        assert loaded._compiled.strategy == "nested_if"
+        loaded.close()
+
+    def test_legacy_payload_defaults_to_nested_if(self, t3, tmp_path):
+        path = tmp_path / "model.json"
+        t3.save(path)
+        payload = json.loads(path.read_text())
+        del payload["codegen"]    # pre-strategy-layer artifact
+        path.write_text(json.dumps(payload))
+        loaded = T3Model.load(path)
+        assert loaded.config.codegen_strategy == "nested_if"
+        loaded.close()
+
+    def test_unknown_strategy_raises_not_silently_interprets(self):
+        booster = self_check_model()
+        config = T3Config(compile_to_native=True, codegen_strategy="typo")
+        with pytest.raises(CompilationError, match="unknown codegen"):
+            T3Model(booster, config)
+
+    def test_registry_override_and_describe(self, t3, tmp_path):
+        path = tmp_path / "model.json"
+        t3.save(path)
+        registry = ModelRegistry(codegen="nested_if")
+        try:
+            entry = registry.load(path)
+            assert entry.describe()["codegen"] == "nested_if"
+            assert entry.backend == "compiled"
+        finally:
+            registry.close()
+
+    def test_exactly_one_ffi_call_per_microbatch(self, t3):
+        # the HP001 retirement contract, asserted end to end: each
+        # micro-batch the worker evaluates is exactly one native call
+        assert t3.backend is PredictionBackend.COMPILED
+        compiled = t3._compiled
+        batcher = MicroBatcher(t3.predict_raw_batch, max_batch_rows=64,
+                               max_wait_s=0.005)
+        try:
+            before = compiled.ffi_calls
+            n_features = t3.booster.n_features
+            rows = np.random.default_rng(3).normal(
+                size=(24, n_features))
+            results = []
+            threads = [threading.Thread(
+                target=lambda r=row: results.append(
+                    batcher.submit(r.reshape(1, -1))))
+                for row in rows]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = batcher.stats()
+            assert stats.requests == 24
+            assert stats.batches >= 1
+            assert compiled.ffi_calls - before == stats.batches
+            assert len(results) == 24
+        finally:
+            batcher.close()
