@@ -1,0 +1,226 @@
+"""Lifecycle chaos drill — observe → retrain → canary → promote/rollback.
+
+Beyond-paper experiment for the online model lifecycle (ISSUE 10): a
+drift scenario shifts the ground truth under a live service while a
+chaos plan tears observation-log appends, and the lifecycle has to
+(a) promote a retrained candidate through shadow + canary without a
+single failed client request attributable to the swap, and (b) when
+the ground truth reverts mid-canary, detect the regression and roll
+back within the canary window. The promote swap is an atomic registry
+pointer write, so its measured latency must be microseconds, not a
+service pause.
+
+Numbers land in ``BENCH_lifecycle.json`` at the repo root so CI can
+track swap latency and rollback time-to-detect on every PR::
+
+    pytest benchmarks/test_lfc01_lifecycle.py --benchmark-only
+
+Self-contained on the toy instance (no corpus cache needed).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.core.model import T3Config, T3Model
+from repro.datagen.workload import WorkloadBuilder, WorkloadConfig
+from repro.errors import InjectedFaultError
+from repro.experiments.reporting import print_table
+from repro.faults import FaultPlan, FaultSpec, clear_faults, install_plan
+from repro.lifecycle import (
+    DriftScenario,
+    LifecycleConfig,
+    LifecycleManager,
+    LifecyclePhase,
+    ObservationLog,
+    RetrainConfig,
+)
+from repro.serving import ModelRegistry, PredictionService, ServingConfig
+from repro.trees.boosting import BoostingParams
+
+from tests.conftest import build_toy_instance
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_lifecycle.json"
+
+#: Promote is one registry pointer write; anything slower means the
+#: swap is doing work on the serving path.
+MAX_SWAP_SECONDS = 0.010
+#: A regressed canary must be caught within the canary window.
+MAX_OBSERVATION_ROUNDS = 400
+
+SEED = 7
+CHAOS = "lifecycle.log_append:raise:0.15"
+
+
+def _build(instance, model, log_dir, seed=SEED):
+    scenario = DriftScenario(instance, speed_factor=4.0, seed=seed)
+    registry = ModelRegistry(compile_native=False)
+    registry.register(model, "default")
+    service = PredictionService(
+        registry, ServingConfig(plan_cache_size=64, compile_native=False),
+        instance_resolver=scenario.resolver)
+    config = LifecycleConfig(
+        retrain_after=30, shadow_samples=12, canary_samples=12,
+        canary_fraction=0.2, min_canary_detect=4,
+        retrain=RetrainConfig(rounds=12, min_records=16), seed=seed)
+    manager = LifecycleManager(service, ObservationLog(log_dir), config)
+    return scenario, service, manager
+
+
+def _drive_until(scenario, service, manager, stop, cap, counters):
+    """Feed observations until ``stop(manager)`` or ``cap`` rounds."""
+    rounds = 0
+    while rounds < cap and not stop(manager):
+        rounds += 1
+        sql = scenario.next_request()
+        truth = scenario.observe(sql)
+        try:
+            service.observe(sql, scenario.base.name, truth)
+            counters["observations"] += 1
+        except InjectedFaultError:
+            counters["append_faults"] += 1
+    return rounds
+
+
+def test_lifecycle_chaos_drill(tmp_path, benchmark):
+    instance = build_toy_instance()
+    workload = WorkloadBuilder(
+        instance, WorkloadConfig(queries_per_structure=3,
+                                 include_fixed_benchmarks=False)).build()
+    model = T3Model.train(workload, T3Config(
+        boosting=BoostingParams(n_rounds=20, objective="mape",
+                                validation_fraction=0.2),
+        compile_to_native=False))
+
+    install_plan(FaultPlan.parse(CHAOS, seed=SEED))
+    counters = {"observations": 0, "append_faults": 0}
+    # Client traffic runs through every act; a hot swap that fails even
+    # one of these requests fails the drill.
+    client_stats = {"requests": 0, "failures": 0}
+
+    def with_client_traffic(scenario, service, act) -> None:
+        stop = threading.Event()
+
+        def client() -> None:
+            i = 0
+            while not stop.is_set():
+                try:
+                    service.predict(scenario.request(i), "toy",
+                                    timeout=30.0)
+                    client_stats["requests"] += 1
+                except Exception:   # noqa: BLE001 - counted, asserted below
+                    client_stats["failures"] += 1
+                i += 1
+
+        thread = threading.Thread(target=client, daemon=True)
+        thread.start()
+        try:
+            act()
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+
+    # -- act one: drift → retrain → shadow → canary → promote ----------
+    scenario, service, manager = _build(instance, model,
+                                        tmp_path / "promote")
+    try:
+        scenario.shift()
+        promote_start = time.perf_counter()
+        with_client_traffic(scenario, service, lambda: _drive_until(
+            scenario, service, manager,
+            stop=lambda m: m.active_entry.version == 2,
+            cap=MAX_OBSERVATION_ROUNDS, counters=counters))
+        promote_wall = time.perf_counter() - promote_start
+        assert manager.active_entry.version == 2, manager.transitions
+        swap_seconds = manager.last_swap_seconds
+        assert swap_seconds is not None and swap_seconds < MAX_SWAP_SECONDS
+        promote_transitions = list(manager.transitions)
+        promote_stats = manager.log.stats()
+        assert promote_stats["torn_tails_quarantined"] == 0
+    finally:
+        manager.log.close()
+
+    # -- act two: the canary regresses → rollback ----------------------
+    # A fresh stack: the active model knows the *base* regime, the
+    # candidate retrains on the shifted one — then the ground truth
+    # reverts mid-canary, making the canary the wrong model while the
+    # pinned active model is right again. Exactly the deployment the
+    # rollback path exists for.
+    scenario, service, manager = _build(instance, model,
+                                        tmp_path / "rollback")
+    try:
+        scenario.shift()
+        _drive_until(
+            scenario, service, manager,
+            stop=lambda m: m.phase is LifecyclePhase.CANARY,
+            cap=MAX_OBSERVATION_ROUNDS, counters=counters)
+        assert manager.phase is LifecyclePhase.CANARY, manager.transitions
+        scenario.reset()        # ground truth reverts under the canary
+        detect_start = time.perf_counter()
+        with_client_traffic(scenario, service, lambda: _drive_until(
+            scenario, service, manager,
+            stop=lambda m: m.phase is not LifecyclePhase.CANARY,
+            cap=manager.config.canary_samples + 1, counters=counters))
+        detect_wall = time.perf_counter() - detect_start
+        rollback = [t for t in manager.transitions
+                    if t["to"] == "observing"
+                    and "regressed" in t["reason"]]
+        assert rollback, manager.transitions
+        assert manager.active_entry.version == 1       # pointer held
+        assert service.registry.canary_info("default") is None
+        detect_samples = manager.last_detect_samples
+        assert detect_samples is not None
+        assert detect_samples <= manager.config.canary_samples
+        rollback_transitions = list(manager.transitions)
+        rollback_stats = manager.log.stats()
+        assert rollback_stats["torn_tails_quarantined"] == 0
+    finally:
+        clear_faults()
+
+    # -- acceptance ----------------------------------------------------
+    assert client_stats["requests"] > 0
+    assert client_stats["failures"] == 0, (
+        f"{client_stats['failures']} client requests failed during "
+        f"lifecycle swaps")
+    assert counters["append_faults"] > 0   # chaos actually fired
+    assert promote_stats["records"] + rollback_stats["records"] == \
+        counters["observations"]
+
+    record = {
+        "benchmark": "LFC-1 lifecycle chaos drill",
+        "chaos_plan": CHAOS,
+        "swap_seconds": swap_seconds,
+        "promote_wall_seconds": round(promote_wall, 3),
+        "rollback_detect_samples": detect_samples,
+        "rollback_detect_wall_seconds": round(detect_wall, 3),
+        "observations": counters["observations"],
+        "append_faults_injected": counters["append_faults"],
+        "client_requests": client_stats["requests"],
+        "client_failures": client_stats["failures"],
+        "log": {"promote": promote_stats, "rollback": rollback_stats},
+        "transitions": {"promote": promote_transitions,
+                        "rollback": rollback_transitions},
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_table(
+        "LFC-1: lifecycle chaos drill (drift + torn-append faults)",
+        ["event", "value"],
+        [["promote swap latency", f"{swap_seconds * 1e6:,.0f} us"],
+         ["promote wall clock", f"{promote_wall:.1f} s"],
+         ["rollback time-to-detect",
+          f"{detect_samples} observations / {detect_wall:.2f} s"],
+         ["append faults injected", str(counters["append_faults"])],
+         ["client requests (0 failed)", str(client_stats["requests"])]],
+        note=f"recorded in {RESULT_PATH.name}")
+
+    # The steady-state observation hook, for the pytest-benchmark ledger.
+    sql = scenario.request(0)
+    truth = scenario.observe(sql)
+    benchmark(lambda: service.observe(sql, "toy", truth))
+
+    manager.log.close()
+    service.close()

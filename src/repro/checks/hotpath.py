@@ -115,6 +115,10 @@ DEFAULT_HOT_ROOTS: Tuple[str, ...] = (
     # process fan-out and its workers
     "process_map",
     "_build_chunk",
+    # lifecycle: the observation hook rides the serving request path
+    "PredictionService.observe",
+    "LifecycleManager.on_observation",
+    "ObservationLog.append",
 )
 
 #: Entry points invoked once per element by their callers.

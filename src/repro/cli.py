@@ -155,12 +155,31 @@ def _build_parser() -> argparse.ArgumentParser:
                             "cache.read:corrupt' (default: REPRO_FAULTS "
                             "env; sites: registry.compile, "
                             "batcher.evaluate, cache.read, "
-                            "parallel.worker, http.handler)")
+                            "parallel.worker, http.handler, "
+                            "lifecycle.log_append)")
     serve.add_argument("--chaos-seed", type=int, default=None,
                        help="seed for fault arming and breaker jitter "
                             "(default: REPRO_FAULTS_SEED env or the "
                             "repo seed); same plan + seed + request "
                             "sequence replays the same faults")
+    serve.add_argument("--lifecycle", metavar="DIR",
+                       help="enable the online model lifecycle: append "
+                            "POST /observe ground truth to a crash-safe "
+                            "observation log under DIR, retrain in the "
+                            "background, shadow-evaluate, canary, and "
+                            "promote or roll back automatically")
+    serve.add_argument("--retrain-after", type=int, default=128,
+                       help="observations between retrain attempts")
+    serve.add_argument("--retrain-rounds", type=int, default=40,
+                       help="boosting rounds for retrained candidates")
+    serve.add_argument("--canary-fraction", type=float, default=0.2,
+                       help="traffic fraction routed to a canary")
+    serve.add_argument("--shadow-samples", type=int, default=48,
+                       help="paired observations a shadow candidate "
+                            "must score before judgement")
+    serve.add_argument("--canary-samples", type=int, default=48,
+                       help="paired observations a canary must survive "
+                            "before promotion")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
@@ -385,12 +404,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         codegen=args.codegen,
         fault_seed=seed)
     service = PredictionService(registry, config)
+    manager = None
+    if args.lifecycle:
+        from .lifecycle import (
+            LifecycleConfig,
+            LifecycleManager,
+            ObservationLog,
+            RetrainConfig,
+        )
+
+        log = ObservationLog(args.lifecycle)
+        manager = LifecycleManager(service, log, LifecycleConfig(
+            retrain_after=args.retrain_after,
+            shadow_samples=args.shadow_samples,
+            canary_samples=args.canary_samples,
+            canary_fraction=args.canary_fraction,
+            retrain=RetrainConfig(rounds=args.retrain_rounds),
+            background=True,
+            seed=seed))
+        print(f"lifecycle armed: observation log at {args.lifecycle} "
+              f"({log.stats()['records']} records recovered), "
+              f"active {manager.active_entry.key}", file=sys.stderr)
     server = ServingServer(service, host=args.host, port=args.port,
                            quiet=not args.verbose)
     if args.port_file:
         Path(args.port_file).write_text(f"{server.port}\n")
     print(f"serving on {server.url}  "
-          "(POST /predict, GET /metrics, GET /healthz; Ctrl-C to stop)",
+          "(POST /predict, POST /observe, GET /metrics, GET /healthz; "
+          "Ctrl-C to stop)",
           file=sys.stderr)
     try:
         server.serve_forever()
@@ -398,6 +439,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down", file=sys.stderr)
     finally:
         server.shutdown()
+        if manager is not None:
+            manager.join()
+            manager.log.close()
     return 0
 
 

@@ -137,9 +137,10 @@ class FeatureRegistry:
     def __init__(self):
         self._index: Dict[str, int] = {}
         for op_type, stage in all_operator_stage_pairs():
-            self._register(f"{op_type.value}_{stage.value}_count")
+            prefix = f"{op_type.value}_{stage.value}"
+            self._register(f"{prefix}_count")
             for suffix in _STAGE_FEATURES.get((op_type, stage), ()):
-                self._register(f"{op_type.value}_{stage.value}_{suffix}")
+                self._register(f"{prefix}_{suffix}")
         self._stage_plans: Dict[Tuple[OperatorType, Stage], _StagePlan] = {}
         for op_type, stage in all_operator_stage_pairs():
             suffixes = _STAGE_FEATURES.get((op_type, stage), ())

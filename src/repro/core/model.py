@@ -11,6 +11,7 @@ cardinalities, and sums (Figure 2).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, replace
 from enum import Enum
@@ -67,11 +68,17 @@ class T3Model:
     """A trained Tuple Time Tree."""
 
     def __init__(self, booster: BoostedTreesModel, config: T3Config,
-                 registry: Optional[FeatureRegistry] = None):
+                 registry: Optional[FeatureRegistry] = None,
+                 lineage: Optional[str] = None):
         self.booster = booster
         self.config = config
         self.registry = registry or default_registry()
+        #: :meth:`digest` of the model this one was retrained from
+        #: (``None`` for models trained from scratch). The lifecycle
+        #: layer uses it to audit promote/rollback chains.
+        self.lineage = lineage
         self._compiled: Optional[CompiledTreeModel] = None
+        self._digest: Optional[str] = None
         self._scalar = PythonScalarModel(booster)
         self.backend = PredictionBackend.INTERPRETED
         if config.compile_to_native:
@@ -131,6 +138,26 @@ class T3Model:
     @property
     def is_compiled(self) -> bool:
         return self._compiled is not None
+
+    # -- identity ----------------------------------------------------------
+
+    def model_digest(self) -> str:
+        """Stable identity of this model's *predictions*.
+
+        sha256 (truncated to 16 hex chars) over the serialized ensemble
+        plus the config fields that change what a prediction means —
+        two models with equal digests answer identically. Computed once
+        and cached (serializing 200 trees is not free); safe because
+        booster and config are immutable after construction.
+        """
+        if self._digest is None:
+            config = (f"{self.config.cardinalities.value}|"
+                      f"{self.config.target_mode.value}|"
+                      f"{self.config.seed}")
+            blob = dumps_model(self.booster) + "|" + config
+            self._digest = hashlib.sha256(
+                blob.encode("utf-8")).hexdigest()[:16]
+        return self._digest
 
     # -- low-level prediction ------------------------------------------------
 
@@ -229,6 +256,8 @@ class T3Model:
             "feature_names": self.registry.feature_names(),
             "codegen": self.config.codegen_strategy,
         }
+        if self.lineage:
+            payload["lineage"] = self.lineage
         Path(path).write_text(json.dumps(payload))
 
     @classmethod
@@ -258,7 +287,7 @@ class T3Model:
             codegen_strategy=codegen or payload.get("codegen",
                                                     DEFAULT_STRATEGY),
             seed=payload["seed"])
-        return cls(booster, config)
+        return cls(booster, config, lineage=payload.get("lineage"))
 
     def close(self) -> None:
         """Release the compiled library's build directory."""

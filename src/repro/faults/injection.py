@@ -50,6 +50,8 @@ KNOWN_SITES: Dict[str, str] = {
                   "corrupt entry",
     "parallel.worker": "a process-pool worker dies mid-task",
     "http.handler": "the HTTP handler fails before dispatching",
+    "lifecycle.log_append": "the observation-log writer dies mid-append, "
+                            "leaving a torn record tail",
 }
 
 _ACTIONS = ("raise", "delay", "corrupt")

@@ -1,0 +1,217 @@
+"""Deterministic drift scenarios: the ground truth shifts mid-stream.
+
+A :class:`DriftScenario` wraps one instance with two regimes — *before*
+and *after* — and plays the oracle a production system would face: the
+service predicts, the scenario "executes" the query on the regime that
+is currently real, and the pair becomes an observation. Everything is
+derived from a seed (query mix, predicate selectivities, shifted
+statistics), so a lifecycle test or chaos run replays bit-identically.
+
+Two independent drift levers, matching how real deployments go stale:
+
+* ``speed_factor`` — the machine the model was calibrated on is not
+  the machine serving traffic (hardware change, co-tenancy). Features
+  are unchanged; every observed time scales. This is pure *target*
+  drift, the cleanest retrain-worthy regime.
+* ``row_scale`` — instance statistics shift (data grew). The shifted
+  catalog changes plans, features, and times together; callers must
+  invalidate cached plans
+  (:meth:`~repro.serving.service.PredictionService.invalidate_instance`)
+  when flipping this on, exactly as a stats refresh would in
+  production.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from ..engine.catalog import Catalog
+from ..engine.optimizer import Optimizer
+from ..engine.simulator import ExecutionSimulator, SimulatorConfig
+from ..engine.sqlparser import parse_sql
+from ..errors import ConfigurationError, InstanceNotFoundError
+from ..datagen.instances import Instance
+from ..rng import DEFAULT_SEED, derive_rng
+
+__all__ = ["DriftScenario", "generate_drift_sqls", "shift_instance"]
+
+
+def shift_instance(instance: Instance, row_scale: float,
+                   seed: int = DEFAULT_SEED) -> Instance:
+    """``instance`` after its data grew (or shrank) by ``row_scale``.
+
+    Same name, family, and schema — the point is that a resolver can
+    swap it in transparently — but a fresh :class:`Catalog` with every
+    table's row count scaled. Column distributions carry over: value
+    ranges do not change when a table grows, only how many rows hold
+    them. Distinct-count estimation error is re-drawn from ``seed``,
+    as a real stats refresh would re-sample.
+    """
+    if row_scale <= 0.0:
+        raise ConfigurationError(
+            f"row_scale must be positive, got {row_scale}")
+    catalog = Catalog(instance.schema, seed=seed)
+    for table in instance.catalog.tables_with_stats():
+        rows = instance.catalog.row_count(table)
+        catalog.set_table_stats(table, max(1, round(rows * row_scale)))
+        for column in instance.schema.table(table).columns:
+            if instance.catalog.has_column_stats(table, column.name):
+                catalog.set_column_distribution(
+                    table, column.name,
+                    instance.catalog.column_stats(
+                        table, column.name).distribution)
+    catalog.validate_complete()
+    return Instance(instance.name, instance.family,
+                    instance.schema, catalog)
+
+
+def generate_drift_sqls(instance: Instance, n_queries: int = 16,
+                        seed: int = DEFAULT_SEED) -> List[str]:
+    """A deterministic query mix for ``instance``.
+
+    Range filters over numeric columns (seeded selectivities) plus one
+    join per declared edge, in a seeded interleaving. Only columns
+    whose name is unique across the instance are used, because the
+    generated SQL references columns unqualified.
+    """
+    if n_queries < 1:
+        raise ConfigurationError(
+            f"n_queries must be >= 1, got {n_queries}")
+    catalog = instance.catalog
+    seen: dict = {}
+    for table in instance.schema.tables.values():
+        for column in table.columns:
+            seen[column.name] = seen.get(column.name, 0) + 1
+    filters: List[tuple] = []
+    for table in instance.schema.tables.values():
+        for column in table.columns:
+            if not column.dtype.is_numeric or seen[column.name] > 1:
+                continue
+            if catalog.has_column_stats(table.name, column.name):
+                filters.append((table.name, column.name))
+    if not filters:
+        raise ConfigurationError(
+            f"instance {instance.name!r} has no uniquely-named numeric "
+            "columns to filter on")
+    rng = derive_rng(seed, "drift-sqls", instance.name)
+    sqls: List[str] = []
+    edges = [edge for edge in instance.schema.join_edges
+             if seen.get(edge.left_column, 0) == 1
+             and seen.get(edge.right_column, 0) == 1]
+    for index in range(n_queries):
+        if edges and index % 3 == 2:   # every third query joins
+            edge = edges[int(rng.integers(len(edges)))]
+            sqls.append(
+                f"SELECT count(*) FROM {edge.left_table}, "
+                f"{edge.right_table} WHERE {edge.left_column} = "
+                f"{edge.right_column}")
+            continue
+        table, column = filters[int(rng.integers(len(filters)))]
+        stats = catalog.column_stats(table, column)
+        frac = 0.1 + 0.8 * float(rng.random())
+        value = stats.min_value + frac * (stats.max_value
+                                          - stats.min_value)
+        sqls.append(f"SELECT count(*) FROM {table} "
+                    f"WHERE {column} <= {value:.4f}")
+    return sqls
+
+
+class DriftScenario:
+    """A seeded request stream whose ground truth shifts on command.
+
+    Acts as both the instance resolver the service plans against and
+    the execution oracle that supplies observed times. Before
+    :meth:`shift` both come from the base regime; after it, from the
+    shifted one. Observed times are the simulator's noise-free
+    ``query_time`` — determinism is the contract here, and the
+    simulator's noise model is itself seeded per-call, which would
+    couple the scenario to call order.
+    """
+
+    def __init__(self, instance: Instance,
+                 row_scale: float = 1.0,
+                 speed_factor: float = 4.0,
+                 n_queries: int = 16,
+                 seed: int = DEFAULT_SEED,
+                 sqls: Optional[List[str]] = None):
+        if speed_factor <= 0.0:
+            raise ConfigurationError(
+                f"speed_factor must be positive, got {speed_factor}")
+        self.base = instance
+        self.seed = seed
+        self.shifted = (instance if row_scale == 1.0
+                        else shift_instance(instance, row_scale,
+                                            seed=seed))
+        self.sqls = list(sqls) if sqls is not None else \
+            generate_drift_sqls(instance, n_queries=n_queries, seed=seed)
+        if not self.sqls:
+            raise ConfigurationError("drift scenario needs queries")
+        self._base_sim = ExecutionSimulator(instance.catalog,
+                                            seed=seed)
+        self._shifted_sim = ExecutionSimulator(
+            self.shifted.catalog,
+            SimulatorConfig(speed_factor=speed_factor), seed=seed)
+        self._base_optimizer = Optimizer(instance.schema,
+                                         instance.catalog)
+        self._shifted_optimizer = Optimizer(self.shifted.schema,
+                                            self.shifted.catalog)
+        self._lock = threading.Lock()
+        self._shifted_active = False
+        self._served = 0
+
+    # -- regime ------------------------------------------------------------
+
+    @property
+    def shifted_active(self) -> bool:
+        with self._lock:
+            return self._shifted_active
+
+    def shift(self) -> None:
+        """Make the shifted regime the ground truth."""
+        with self._lock:
+            self._shifted_active = True
+
+    def reset(self) -> None:
+        with self._lock:
+            self._shifted_active = False
+
+    @property
+    def active(self) -> Instance:
+        with self._lock:
+            return self.shifted if self._shifted_active else self.base
+
+    def resolver(self, name: str) -> Instance:
+        """Instance resolver for :class:`PredictionService`."""
+        if name != self.base.name:
+            raise InstanceNotFoundError(
+                f"unknown instance {name!r}; this scenario serves "
+                f"{self.base.name!r}")
+        return self.active
+
+    # -- the request stream ------------------------------------------------
+
+    def request(self, index: int) -> str:
+        """The ``index``-th query of the deterministic stream."""
+        order = derive_rng(self.seed, "drift-stream",
+                           index // len(self.sqls)).permutation(
+                               len(self.sqls))
+        return self.sqls[int(order[index % len(self.sqls)])]
+
+    def next_request(self) -> str:
+        with self._lock:
+            index = self._served
+            self._served += 1
+        return self.request(index)
+
+    def observe(self, sql: str) -> float:
+        """Ground-truth seconds for ``sql`` under the current regime."""
+        with self._lock:
+            shifted = self._shifted_active
+        instance = self.shifted if shifted else self.base
+        optimizer = (self._shifted_optimizer if shifted
+                     else self._base_optimizer)
+        simulator = self._shifted_sim if shifted else self._base_sim
+        logical = parse_sql(sql, instance.schema, instance.catalog)
+        plan = optimizer.optimize(logical, "drift_query")
+        return float(simulator.query_time(plan))

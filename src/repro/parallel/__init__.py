@@ -14,6 +14,7 @@ argument, the ``REPRO_JOBS`` environment variable, ``os.cpu_count()``.
 
 from .jobs import REPRO_JOBS_ENV, resolve_jobs
 from .executor import process_map
+from .incremental import consume_segments
 from .workload import (
     WorkloadChunk,
     build_corpus_workload_parallel,
@@ -24,6 +25,7 @@ __all__ = [
     "REPRO_JOBS_ENV",
     "WorkloadChunk",
     "build_corpus_workload_parallel",
+    "consume_segments",
     "iter_workload_chunks",
     "process_map",
     "resolve_jobs",

@@ -1,0 +1,71 @@
+"""Incremental consumption of an append-only segmented log.
+
+The lifecycle retrainer repeatedly asks "what's new since I last
+looked?" against the observation log. This helper answers it through
+the same crash-safe :func:`~repro.parallel.executor.process_map`
+fan-out as the offline pipeline: segments the cursor has never touched
+are decoded in worker processes (they are sealed or at least
+append-only, so a concurrent writer can only add records *after* the
+count the cursor was diffed against), while partially-consumed
+segments are re-read in-process and sliced — fan-out overhead is only
+paid where there is a whole segment of work to win back.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from .executor import process_map
+
+__all__ = ["consume_segments"]
+
+_R = TypeVar("_R")
+
+
+def consume_segments(reader: Callable[[Path], List[_R]],
+                     segments: Sequence[Path],
+                     counts: Dict[str, int],
+                     cursor: Dict[str, int],
+                     jobs: Optional[int] = None,
+                     ) -> Tuple[List[_R], Dict[str, int]]:
+    """Read every record past ``cursor``; returns (records, new cursor).
+
+    ``counts`` maps segment name to its committed record count (the
+    log's own bookkeeping); ``cursor`` maps segment name to how many
+    records the caller has already consumed. ``reader`` must be a
+    module-level callable returning one segment's committed records in
+    order (process-pool contract). Records come back in log order —
+    segment order, record order within each — and the returned cursor
+    reflects exactly what was read, so a crash between calls re-reads
+    at worst one call's worth.
+    """
+    fresh: List[Path] = []
+    partial: List[Path] = []
+    for path in segments:
+        have = counts.get(path.name, 0)
+        done = cursor.get(path.name, 0)
+        if have <= done:
+            continue
+        (fresh if done == 0 else partial).append(path)
+    decoded: Dict[str, List[_R]] = {}
+    if fresh:
+        for path, records in zip(fresh, process_map(reader, fresh,
+                                                    jobs=jobs)):
+            decoded[path.name] = records
+    for path in partial:
+        decoded[path.name] = reader(path)[cursor[path.name]:]
+    out: List[_R] = []
+    new_cursor = dict(cursor)
+    for path in segments:
+        records = decoded.get(path.name)
+        if records is None:
+            continue
+        # A writer may have appended past the count we diffed against;
+        # cap at `counts` so those records are consumed next call, not
+        # double-counted by a stale cursor.
+        fresh_limit = counts[path.name] - cursor.get(path.name, 0)
+        records = records[:fresh_limit]
+        out.extend(records)
+        new_cursor[path.name] = cursor.get(path.name, 0) + len(records)
+    return out, new_cursor

@@ -14,7 +14,7 @@ long-running service (ROADMAP: "serve heavy traffic"):
   per-model circuit breakers (:mod:`repro.faults`),
 * :mod:`~repro.serving.fallback` — the analytic last-resort estimate,
 * :mod:`~repro.serving.http` — stdlib HTTP endpoints
-  (``/predict``, ``/metrics``, ``/healthz``),
+  (``/predict``, ``/observe``, ``/metrics``, ``/healthz``),
 * :mod:`~repro.serving.telemetry` — counters / gauges / histograms
   with Prometheus text exposition.
 

@@ -169,6 +169,24 @@ class LRUCache:
         with self._lock:
             return key in self._entries
 
+    def drop_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose *key* satisfies ``predicate``.
+
+        Targeted invalidation (counted as evictions): e.g. dropping all
+        plans of one instance after its statistics shift, without
+        throwing away every other instance's warm entries.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.evictions += len(doomed)
+            callback = self._on_evict
+        if callback is not None:
+            for _ in doomed:
+                callback()
+        return len(doomed)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -8,8 +8,13 @@ prediction sidecar:
   :class:`~repro.serving.service.PredictionResult` as JSON. A JSON
   *array* of such objects answers them as one micro-batch
   (``PredictionService.predict_many``) and returns an array,
+* ``POST /observe`` — JSON body ``{"sql": ..., "instance": ...,
+  "observed_seconds": ..., "model"?: ...}`` reports ground truth;
+  feeds the model lifecycle (observation log, retrain, canary) when
+  one is attached,
 * ``GET /metrics`` — Prometheus text exposition,
-* ``GET /healthz`` — liveness + registered models + cache stats.
+* ``GET /healthz`` — liveness + registered models + routing/lifecycle
+  state + cache stats.
 
 Typed service errors map to meaningful status codes so clients can
 distinguish overload (429/503/504, retryable) from bad requests
@@ -143,7 +148,13 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self):  # noqa: N802
         self._body_consumed = False
         try:
-            self._handle_predict()
+            if self.path == "/predict":
+                self._handle_predict()
+            elif self.path == "/observe":
+                self._handle_observe()
+            else:
+                self._refuse(404, "not_found",
+                             f"no such endpoint: {self.path}")
         except Exception as exc:   # JSON envelope, never a traceback
             self._fail(exc)
 
@@ -171,13 +182,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.close_connection = True
         self._send_error_json(status, code, message)
 
-    def _handle_predict(self) -> None:
-        if self.path != "/predict":
-            self._refuse(404, "not_found",
-                         f"no such endpoint: {self.path}")
-            return
-        # The handler-level fault site fires before any parsing, as if
-        # the front end itself hiccuped; it surfaces as a 503 envelope.
+    _BODY_UNREADABLE = object()
+
+    def _read_json_body(self):
+        """Read and parse the request body; the handler-level fault
+        site fires first, before any parsing, as if the front end
+        itself hiccuped (a 503 envelope).
+
+        Returns the parsed JSON, or :data:`_BODY_UNREADABLE` after an
+        error response has already been sent.
+        """
         self.service.injector.fire("http.handler")
         try:
             length = int(self.headers.get("Content-Length", 0))
@@ -188,17 +202,22 @@ class _Handler(BaseHTTPRequestHandler):
                 413, "payload_too_large",
                 f"request body is {length} bytes; "
                 f"at most {_MAX_BODY_BYTES} accepted")
-            return
+            return self._BODY_UNREADABLE
         if length <= 0:
             self._refuse(400, "bad_request",
                          "request body required (JSON)")
-            return
+            return self._BODY_UNREADABLE
         raw_body = self.rfile.read(length)
         self._body_consumed = True
         try:
-            request = json.loads(raw_body.decode("utf-8"))
+            return json.loads(raw_body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self._send_error_json(400, "invalid_json", str(exc))
+            return self._BODY_UNREADABLE
+
+    def _handle_predict(self) -> None:
+        request = self._read_json_body()
+        if request is self._BODY_UNREADABLE:
             return
         batch = isinstance(request, list)
         items = request if batch else [request]
@@ -227,6 +246,31 @@ class _Handler(BaseHTTPRequestHandler):
                     version=items[0].get("version"),
                     timeout=items[0].get("timeout"))
                 self._send_json(200, result.to_json())
+        except Exception as exc:
+            status, code = error_response(exc)
+            self._send_error_json(status, code, str(exc))
+
+    def _handle_observe(self) -> None:
+        request = self._read_json_body()
+        if request is self._BODY_UNREADABLE:
+            return
+        if not isinstance(request, dict) or \
+                not isinstance(request.get("sql"), str) or \
+                not isinstance(request.get("instance"), str) or \
+                not isinstance(request.get("observed_seconds"),
+                               (int, float)) or \
+                isinstance(request.get("observed_seconds"), bool):
+            self._send_error_json(
+                400, "bad_request",
+                'body must be a JSON object with string "sql" and '
+                '"instance" fields and a numeric "observed_seconds"')
+            return
+        try:
+            ack = self.service.observe(
+                request["sql"], request["instance"],
+                request["observed_seconds"],
+                model=request.get("model"))
+            self._send_json(200, ack)
         except Exception as exc:
             status, code = error_response(exc)
             self._send_error_json(status, code, str(exc))

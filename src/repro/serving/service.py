@@ -31,6 +31,7 @@ healthy/degraded/draining state machine surfaces all of it in
 
 from __future__ import annotations
 
+import itertools
 import logging
 import threading
 import time
@@ -40,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import (
+    ConfigurationError,
     InjectedFaultError,
     InstanceNotFoundError,
     NonFinitePredictionError,
@@ -80,6 +82,22 @@ _LOG = logging.getLogger(__name__)
 #: Fallback-rung labels carried in result provenance.
 _INTERPRETED = "interpreted"
 _ANALYTIC = "analytic"
+
+
+def _canary_draw(seed: int, index: int) -> float:
+    """Uniform [0, 1) from (seed, request index).
+
+    A splitmix64-style finalizer: hot-path cheap (a handful of integer
+    ops, no Generator construction) yet deterministic, so a replayed
+    request sequence routes the same requests to the canary.
+    """
+    x = (index * 0x9E3779B97F4A7C15 + seed) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return (x >> 11) / float(1 << 53)
 
 
 @dataclass(frozen=True)
@@ -210,6 +228,13 @@ class PredictionService:
         self._optimizers: Dict[str, Tuple[Optimizer, ExactCardinalityModel]]
         self._optimizers = {}
         self._optimizers_lock = threading.Lock()
+        #: Attached LifecycleManager (duck-typed — serving never
+        #: imports repro.lifecycle; the dependency points the other way).
+        self._lifecycle = None
+        self._lifecycle_lock = threading.Lock()
+        #: Monotone request index feeding the canary-routing draw.
+        #: itertools.count.__next__ is atomic under the GIL.
+        self._canary_counter = itertools.count()
         self._started_at = time.time()
         self._closed = threading.Event()
         self._health = HealthTracker(
@@ -236,6 +261,12 @@ class PredictionService:
         self._m_fallback_analytic = m.counter(
             "t3_serving_fallback_analytic_total",
             "requests answered by the analytic baseline fallback")
+        self._m_observations = m.counter(
+            "t3_serving_observations_total",
+            "ground-truth observations accepted")
+        self._m_canary_routed = m.counter(
+            "t3_serving_canary_requests_total",
+            "requests routed to a canary model version")
         self._m_parse = m.histogram(
             "t3_serving_parse_seconds", "SQL parse + optimize stage latency")
         self._m_featurize = m.histogram(
@@ -291,7 +322,7 @@ class PredictionService:
         started = time.perf_counter()
         deadline = self._resolve_deadline(timeout, deadline)
         try:
-            entry = self.registry.get(model, version)
+            entry = self._resolve_entry(model, version)
             vectors, cards, parse_s, featurize_s, hit = \
                 self._plan_features(entry, instance, sql)
             infer_started = time.perf_counter()
@@ -339,7 +370,7 @@ class PredictionService:
         started = time.perf_counter()
         deadline = self._resolve_deadline(timeout, deadline)
         try:
-            entry = self.registry.get(model, version)
+            entry = self._resolve_entry(model, version)
             fronts = [self._plan_features(entry, instance, sql)
                       for sql, instance in requests]
             infer_started = time.perf_counter()
@@ -386,6 +417,114 @@ class PredictionService:
         self._m_infer.observe(infer_s)
         self._m_total.observe(time.perf_counter() - started)
         return results
+
+    # -- routing -----------------------------------------------------------
+
+    def _resolve_entry(self, model: Optional[str],
+                       version: Optional[int]) -> ModelEntry:
+        """Resolve the serving entry, routing a fraction to a canary.
+
+        Explicit versions bypass routing. Otherwise a deterministic
+        per-request draw decides canary vs active — the registry
+        resolves both pointers under one lock, so a promote/rollback
+        concurrent with this call yields the old or the new routing,
+        never a mix. The entry returned is held for the whole request
+        (batcher and breaker are keyed by it), so a swap mid-request
+        cannot change which model answers.
+        """
+        if version is not None:
+            return self.registry.get(model, version)
+        draw = None
+        canary = self.registry.canary_info(model)
+        if canary is not None:
+            draw = _canary_draw(self.config.fault_seed,
+                                next(self._canary_counter))
+        entry = self.registry.get(model, canary_draw=draw)
+        if canary is not None and entry.version == canary[0]:
+            self._m_canary_routed.inc()
+        return entry
+
+    # -- the observation hook ----------------------------------------------
+
+    def observe(self, sql: str, instance: str, observed_seconds: float,
+                model: Optional[str] = None) -> Dict[str, object]:
+        """Accept one piece of ground truth: ``sql`` actually took
+        ``observed_seconds`` on ``instance``.
+
+        Recomputes the *active* model's prediction through the cached
+        front half (observations deliberately skip canary routing: the
+        pair being logged is "what the pinned model would say" vs
+        reality, which is what retraining and shadow scoring compare
+        against). When a lifecycle manager is attached the pair is
+        appended to its crash-safe log and advances the state machine;
+        without one this is a cheap echo endpoint.
+        """
+        if self._closed.is_set():
+            raise ServiceClosedError("service is closed")
+        observed = float(observed_seconds)
+        if not np.isfinite(observed) or observed < 0.0:
+            raise ConfigurationError(
+                "observed_seconds must be finite and non-negative, "
+                f"got {observed_seconds!r}")
+        try:
+            entry = self.registry.get(model)
+            vectors, cards, _, _, _ = self._plan_features(
+                entry, instance, sql)
+            total, pipeline_seconds, fallback = self._predict_times(
+                entry, vectors, cards,
+                self._resolve_deadline(None, None))
+        except Exception as exc:
+            self._m_errors.inc()
+            self._note_shed(exc)
+            raise
+        sequence = None
+        lifecycle = self.lifecycle
+        if lifecycle is not None:
+            sequence = lifecycle.observe_served(
+                instance=instance, vectors=vectors, cards=cards,
+                predicted_seconds=total,
+                pipeline_seconds=pipeline_seconds,
+                observed_seconds=observed, model_key=entry.key)
+        self._m_observations.inc()
+        return {
+            "sequence": sequence,
+            "model": entry.name,
+            "version": entry.version,
+            "predicted_seconds": total,
+            "observed_seconds": observed,
+            "qerror": (max(max(total, 1e-9) / max(observed, 1e-9),
+                           max(observed, 1e-9) / max(total, 1e-9))),
+            "degraded": fallback is not None,
+            "lifecycle": (None if lifecycle is None
+                          else lifecycle.phase.value),
+        }
+
+    def attach_lifecycle(self, manager) -> None:
+        """Install the lifecycle manager fed by :meth:`observe`."""
+        with self._lifecycle_lock:
+            self._lifecycle = manager
+
+    @property
+    def lifecycle(self):
+        with self._lifecycle_lock:
+            return self._lifecycle
+
+    def breaker_state(self, entry: ModelEntry) -> BreakerState:
+        """The circuit-breaker state guarding ``entry``'s backend."""
+        return self._breaker_for(entry).state
+
+    def invalidate_instance(self, instance: str) -> int:
+        """Drop cached plans/optimizers for ``instance`` (stats shift).
+
+        Returns how many plan-cache entries were dropped. Must be
+        called when an instance's statistics change under the service
+        (e.g. a drift scenario flipping regimes), otherwise predictions
+        keep using plans optimized against the stale catalog.
+        """
+        with self._optimizers_lock:
+            self._optimizers.pop(instance, None)
+        return self._plan_cache.drop_where(
+            lambda key: key[1] == instance)
 
     # -- the degradation chain --------------------------------------------
 
@@ -613,10 +752,14 @@ class PredictionService:
             status = "no models"
         with self._breakers_lock:
             breakers = [b.snapshot() for b in self._breakers.values()]
+        lifecycle = self.lifecycle
         return {
             "status": status,
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "models": [entry.describe() for entry in self.registry.entries()],
+            "routing": self.registry.status(),
+            "lifecycle": (lifecycle.describe()
+                          if lifecycle is not None else None),
             "plan_cache": {
                 "size": len(self._plan_cache),
                 "capacity": self._plan_cache.capacity,

@@ -34,10 +34,11 @@ def test_check_sarif_format(capsys):
     assert main(["check", "--format", "sarif"]) == 0
     doc = json.loads(capsys.readouterr().out)
     assert doc["version"] == "2.1.0"
-    # The one baselined ROADMAP perf debt rides along as an externally
-    # suppressed result; nothing else may appear.
+    # The two baselined findings (the ROADMAP HP003 perf debt and the
+    # lifecycle log's intentional mid-frame fault site) ride along as
+    # externally suppressed results; nothing else may appear.
     results = doc["runs"][0]["results"]
-    assert sorted(r["ruleId"] for r in results) == ["HP003"]
+    assert sorted(r["ruleId"] for r in results) == ["HP003", "HP004"]
     assert all(r["suppressions"][0]["kind"] == "external" for r in results)
     assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-t3-check"
 
@@ -86,10 +87,12 @@ def test_check_warns_on_stale_suppression(tmp_path, capsys):
     baseline.write_text(
         '[[suppress]]\nrule = "PL004"\n'
         'path = "src/repro/nonexistent.py"\nline = 1\n'
-        # the grandfathered ROADMAP perf debt must stay covered
-        # for the full run to exit 0
+        # the grandfathered findings must stay covered for the full
+        # run to exit 0
         '[[suppress]]\nrule = "HP003"\n'
-        'path = "src/repro/parallel/executor.py"\n')
+        'path = "src/repro/parallel/executor.py"\n'
+        '[[suppress]]\nrule = "HP004"\n'
+        'path = "src/repro/lifecycle/obslog.py"\n')
     assert main(["check", "--baseline", str(baseline)]) == 0
     out = capsys.readouterr().out
     assert "stale baseline suppression PL004" in out

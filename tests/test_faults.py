@@ -226,7 +226,7 @@ class TestFaultInjector:
     def test_known_sites_documented(self):
         assert set(KNOWN_SITES) == {
             "registry.compile", "batcher.evaluate", "cache.read",
-            "parallel.worker", "http.handler"}
+            "parallel.worker", "http.handler", "lifecycle.log_append"}
 
 
 # ---------------------------------------------------------------------------
